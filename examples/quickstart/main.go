@@ -1,0 +1,70 @@
+// Quickstart: simulate a small gene alignment with positive selection
+// on one branch, run the SlimCodeML branch-site test on it, and print
+// the likelihood ratio test verdict — the complete workflow of the
+// paper in ~40 lines of calling code.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bsm"
+	"repro/internal/codon"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	// 1. A random 8-species tree; one internal branch is marked as the
+	//    foreground branch (#1 in Newick).
+	tree, err := sim.RandomTree(sim.TreeConfig{Species: 8, MeanBranchLength: 0.15, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Lengthen the foreground branch so the selection episode leaves a
+	// clear signature (a short branch carries few substitutions).
+	tree.ForegroundBranches()[0].Length = 0.5
+	fmt.Println("tree:", tree)
+
+	// 2. Simulate 150 codons under branch-site model A with genuine
+	//    positive selection (ω2 = 6) on the foreground branch.
+	truth := bsm.Params{Kappa: 2.0, Omega0: 0.08, Omega2: 6.0, P0: 0.45, P1: 0.25}
+	aln, err := sim.Simulate(tree, codon.Universal, sim.SeqConfig{Sites: 150, Params: truth, Seed: 43})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alignment: %d sequences × %d codons\n\n", aln.NumSeqs(), aln.Length()/3)
+
+	// 3. Run the positive-selection test (H0 vs H1) with the
+	//    SlimCodeML engine.
+	an, err := core.NewAnalysis(aln, tree, core.Options{
+		Engine:        core.EngineSlim,
+		MaxIterations: 80,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Printf("H0 (ω2=1):  lnL = %.4f   (%d iterations)\n", res.H0.LnL, res.H0.Iterations)
+	fmt.Printf("H1 (ω2>1):  lnL = %.4f   (%d iterations)\n", res.H1.LnL, res.H1.Iterations)
+	fmt.Printf("estimated ω2 = %.2f (simulated truth: %.2f)\n", res.H1.Params.Omega2, truth.Omega2)
+	fmt.Printf("LRT: 2ΔlnL = %.3f, p = %.2g\n", res.LRT.Statistic, res.LRT.PValueChi2)
+	if res.LRT.SignificantAt(0.05) {
+		fmt.Println("→ positive selection detected on the foreground branch")
+	} else {
+		fmt.Println("→ no significant positive selection")
+	}
+	if len(res.PositiveSites) > 0 {
+		fmt.Printf("candidate sites under selection: %d (best: site %d, P = %.2f)\n",
+			len(res.PositiveSites), res.PositiveSites[0].Site, res.PositiveSites[0].Probability)
+	}
+	fmt.Printf("total runtime: %.1f s over %d iterations\n", res.TotalRuntime.Seconds(), res.TotalIterations)
+}

@@ -1,0 +1,123 @@
+// Selection scan: test every branch of a tree as the candidate
+// foreground branch, the way genome-scale pipelines such as Selectome
+// iterate the branch-site test "for each branch of a phylogenetic
+// tree" (paper §I-A). Data are simulated with selection on one known
+// branch; the scan should rank that branch first.
+//
+// Run with: go run ./examples/selectionscan
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/bsm"
+	"repro/internal/codon"
+	"repro/internal/core"
+	"repro/internal/newick"
+	"repro/internal/sim"
+)
+
+func main() {
+	// Simulate with positive selection on one known internal branch.
+	tree, err := sim.RandomTree(sim.TreeConfig{Species: 7, MeanBranchLength: 0.15, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truthID := tree.ForegroundBranches()[0].ID
+	aln, err := sim.Simulate(tree, codon.Universal, sim.SeqConfig{
+		Sites:  200,
+		Params: bsm.Params{Kappa: 2.2, Omega0: 0.07, Omega2: 7.0, P0: 0.4, P1: 0.25},
+		Seed:   12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d×%d codons; true foreground branch: node %d (%s)\n\n",
+		aln.NumSeqs(), aln.Length()/3, truthID, branchLabel(tree, truthID))
+
+	type hit struct {
+		nodeID int
+		label  string
+		lrt    float64
+		p      float64
+	}
+	var hits []hit
+
+	// Scan: re-mark each internal branch in turn and run the H0-vs-H1
+	// test. (Selectome scans internal branches; add leaves to the loop
+	// to scan terminal branches too.)
+	for _, cand := range tree.Nodes {
+		if cand == tree.Root || cand.IsLeaf() {
+			continue
+		}
+		scanTree := tree.Clone()
+		for _, n := range scanTree.Nodes {
+			n.Mark = 0
+		}
+		scanTree.Nodes[cand.ID].Mark = 1
+		scanTree.Index()
+
+		an, err := core.NewAnalysis(aln, scanTree, core.Options{
+			Engine:        core.EngineSlim,
+			MaxIterations: 40,
+			Seed:          5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := an.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		hits = append(hits, hit{
+			nodeID: cand.ID,
+			label:  branchLabel(tree, cand.ID),
+			lrt:    res.LRT.Statistic,
+			p:      res.LRT.PValueChi2,
+		})
+		fmt.Printf("branch %-28s 2ΔlnL = %7.3f   p = %.3g\n",
+			branchLabel(tree, cand.ID), res.LRT.Statistic, res.LRT.PValueChi2)
+	}
+
+	sort.Slice(hits, func(i, j int) bool { return hits[i].lrt > hits[j].lrt })
+	fmt.Printf("\nstrongest signal: %s (2ΔlnL = %.3f)\n", hits[0].label, hits[0].lrt)
+	if hits[0].nodeID == truthID {
+		fmt.Println("→ the scan recovered the true foreground branch")
+	} else {
+		fmt.Println("→ the true branch was not ranked first (small data, this can happen)")
+	}
+}
+
+// branchLabel names a branch by its node: the leaf name, or the set of
+// leaves below an internal node.
+func branchLabel(t *newick.Tree, id int) string {
+	n := t.Nodes[id]
+	if n.IsLeaf() {
+		return "leaf " + n.Name
+	}
+	var leaves []string
+	var walk func(*newick.Node)
+	walk = func(x *newick.Node) {
+		if x.IsLeaf() {
+			leaves = append(leaves, x.Name)
+			return
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	if len(leaves) > 3 {
+		return fmt.Sprintf("clade{%s,... %d leaves}", leaves[0], len(leaves))
+	}
+	out := "clade{"
+	for i, l := range leaves {
+		if i > 0 {
+			out += ","
+		}
+		out += l
+	}
+	return out + "}"
+}

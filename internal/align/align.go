@@ -1,0 +1,194 @@
+// Package align implements the multiple sequence alignment (MSA)
+// substrate: FASTA and PHYLIP readers for nucleotide alignments, the
+// translation of an MSA into sense-codon index sequences, and the
+// site-pattern compression that collapses identical alignment columns
+// into weighted patterns (the standard optimization that makes long
+// MSAs such as the paper's dataset ii, 5004 codons, tractable).
+package align
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Alignment is a raw nucleotide MSA: equally long sequences of
+// A/C/G/T/U plus gap or ambiguity characters.
+type Alignment struct {
+	Names []string
+	Seqs  []string
+}
+
+// NumSeqs returns the number of sequences.
+func (a *Alignment) NumSeqs() int { return len(a.Seqs) }
+
+// Length returns the alignment length in nucleotides (0 when empty).
+func (a *Alignment) Length() int {
+	if len(a.Seqs) == 0 {
+		return 0
+	}
+	return len(a.Seqs[0])
+}
+
+// Validate checks that the alignment is rectangular and non-empty.
+func (a *Alignment) Validate() error {
+	if len(a.Seqs) == 0 {
+		return fmt.Errorf("align: empty alignment")
+	}
+	if len(a.Names) != len(a.Seqs) {
+		return fmt.Errorf("align: %d names for %d sequences", len(a.Names), len(a.Seqs))
+	}
+	n := len(a.Seqs[0])
+	for i, s := range a.Seqs {
+		if len(s) != n {
+			return fmt.Errorf("align: sequence %q has length %d, expected %d", a.Names[i], len(s), n)
+		}
+	}
+	seen := make(map[string]bool, len(a.Names))
+	for _, name := range a.Names {
+		if name == "" {
+			return fmt.Errorf("align: empty sequence name")
+		}
+		if seen[name] {
+			return fmt.Errorf("align: duplicate sequence name %q", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// ReadFasta parses a FASTA nucleotide alignment.
+func ReadFasta(r io.Reader) (*Alignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	a := &Alignment{}
+	var cur strings.Builder
+	flush := func() {
+		if len(a.Names) > len(a.Seqs) {
+			a.Seqs = append(a.Seqs, cur.String())
+			cur.Reset()
+		}
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			flush()
+			name := strings.TrimSpace(line[1:])
+			// FASTA headers may carry descriptions; the ID is the
+			// first whitespace-delimited token.
+			if i := strings.IndexAny(name, " \t"); i >= 0 {
+				name = name[:i]
+			}
+			a.Names = append(a.Names, name)
+			continue
+		}
+		if len(a.Names) == 0 {
+			return nil, fmt.Errorf("align: FASTA sequence data before first header")
+		}
+		cur.WriteString(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("align: reading FASTA: %w", err)
+	}
+	flush()
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ReadPhylip parses a sequential or interleaved PHYLIP alignment, the
+// format CodeML reads. The first line holds the sequence count and
+// length; names are whitespace-delimited (relaxed PHYLIP, as PAML
+// accepts).
+func ReadPhylip(r io.Reader) (*Alignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("align: empty PHYLIP input")
+	}
+	var ns, nc int
+	if _, err := fmt.Sscan(sc.Text(), &ns, &nc); err != nil {
+		return nil, fmt.Errorf("align: bad PHYLIP header %q: %w", strings.TrimSpace(sc.Text()), err)
+	}
+	if ns <= 0 || nc <= 0 {
+		return nil, fmt.Errorf("align: bad PHYLIP dimensions %d×%d", ns, nc)
+	}
+	a := &Alignment{Names: make([]string, 0, ns)}
+	bodies := make([]strings.Builder, ns)
+	row := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		idx := row % ns
+		if len(a.Names) < ns {
+			// First block: the line starts with the name.
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("align: PHYLIP line %q lacks sequence data", line)
+			}
+			a.Names = append(a.Names, fields[0])
+			bodies[idx].WriteString(strings.Join(fields[1:], ""))
+		} else {
+			// Continuation blocks (interleaved): bare sequence.
+			bodies[idx].WriteString(strings.Join(strings.Fields(line), ""))
+		}
+		row++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("align: reading PHYLIP: %w", err)
+	}
+	if len(a.Names) != ns {
+		return nil, fmt.Errorf("align: PHYLIP header promised %d sequences, found %d", ns, len(a.Names))
+	}
+	for i := range bodies {
+		s := bodies[i].String()
+		if len(s) != nc {
+			return nil, fmt.Errorf("align: sequence %q has %d sites, header says %d", a.Names[i], len(s), nc)
+		}
+		a.Seqs = append(a.Seqs, s)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// WriteFasta writes the alignment in FASTA, 60 columns per line.
+func WriteFasta(w io.Writer, a *Alignment) error {
+	for i, name := range a.Names {
+		if _, err := fmt.Fprintf(w, ">%s\n", name); err != nil {
+			return err
+		}
+		s := a.Seqs[i]
+		for off := 0; off < len(s); off += 60 {
+			end := off + 60
+			if end > len(s) {
+				end = len(s)
+			}
+			if _, err := fmt.Fprintln(w, s[off:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePhylip writes the alignment in sequential PHYLIP.
+func WritePhylip(w io.Writer, a *Alignment) error {
+	if _, err := fmt.Fprintf(w, "%d %d\n", a.NumSeqs(), a.Length()); err != nil {
+		return err
+	}
+	for i, name := range a.Names {
+		if _, err := fmt.Fprintf(w, "%-12s %s\n", name, a.Seqs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

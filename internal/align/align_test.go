@@ -1,0 +1,280 @@
+package align
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/codon"
+)
+
+const fastaInput = `>A some description
+ATGTTT
+>B
+ATGTTC
+>C
+ATG---
+`
+
+func TestReadFasta(t *testing.T) {
+	a, err := ReadFasta(strings.NewReader(fastaInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSeqs() != 3 || a.Length() != 6 {
+		t.Fatalf("shape %d×%d", a.NumSeqs(), a.Length())
+	}
+	if a.Names[0] != "A" {
+		t.Fatalf("description not stripped: %q", a.Names[0])
+	}
+	if a.Seqs[2] != "ATG---" {
+		t.Fatalf("seq C = %q", a.Seqs[2])
+	}
+}
+
+func TestReadFastaMultiline(t *testing.T) {
+	a, err := ReadFasta(strings.NewReader(">A\nATG\nTTT\n>B\nATGTTC\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seqs[0] != "ATGTTT" {
+		t.Fatalf("multiline sequence not joined: %q", a.Seqs[0])
+	}
+}
+
+func TestReadFastaErrors(t *testing.T) {
+	cases := []string{
+		"ATG\n>A\nATG\n",    // data before header
+		">A\nATG\n>B\nAT\n", // ragged
+		">A\nATG\n>A\nATG\n",
+		"",
+	}
+	for _, in := range cases {
+		if _, err := ReadFasta(strings.NewReader(in)); err == nil {
+			t.Fatalf("expected error for %q", in)
+		}
+	}
+}
+
+func TestReadPhylipSequential(t *testing.T) {
+	in := "3 6\nA  ATGTTT\nB  ATGTTC\nC  ATGCTT\n"
+	a, err := ReadPhylip(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSeqs() != 3 || a.Length() != 6 || a.Seqs[1] != "ATGTTC" {
+		t.Fatalf("bad parse: %+v", a)
+	}
+}
+
+func TestReadPhylipInterleaved(t *testing.T) {
+	in := "2 12\nA  ATGTTT\nB  ATGTTC\n\nAAATTT\nAAATTC\n"
+	a, err := ReadPhylip(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seqs[0] != "ATGTTTAAATTT" || a.Seqs[1] != "ATGTTCAAATTC" {
+		t.Fatalf("interleaved join failed: %v", a.Seqs)
+	}
+}
+
+func TestReadPhylipSpacedSequences(t *testing.T) {
+	// PAML allows spaces inside the sequence.
+	in := "1 6\nA  ATG TTT\n"
+	a, err := ReadPhylip(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seqs[0] != "ATGTTT" {
+		t.Fatalf("spaces not stripped: %q", a.Seqs[0])
+	}
+}
+
+func TestReadPhylipErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x y\nA ATG\n",
+		"2 6\nA ATGTTT\n",  // missing sequence
+		"1 6\nA ATGTT\n",   // wrong length
+		"0 5\n",            // bad dims
+		"1 3\nJustAName\n", // no sequence data on line
+	}
+	for _, in := range cases {
+		if _, err := ReadPhylip(strings.NewReader(in)); err == nil {
+			t.Fatalf("expected error for %q", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	a := &Alignment{Names: []string{"A", "B"}, Seqs: []string{"ATGTTT", "ATGTTC"}}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seqs[0] != a.Seqs[0] || back.Names[1] != a.Names[1] {
+		t.Fatal("FASTA round trip mismatch")
+	}
+
+	buf.Reset()
+	if err := WritePhylip(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadPhylip(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seqs[1] != a.Seqs[1] {
+		t.Fatal("PHYLIP round trip mismatch")
+	}
+}
+
+func TestWriteFastaWraps(t *testing.T) {
+	long := strings.Repeat("ATG", 50) // 150 nt
+	a := &Alignment{Names: []string{"A"}, Seqs: []string{long}}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if len(line) > 60 {
+			t.Fatalf("unwrapped line of length %d", len(line))
+		}
+	}
+}
+
+func TestEncodeCodons(t *testing.T) {
+	a := &Alignment{
+		Names: []string{"A", "B"},
+		Seqs:  []string{"ATGTTT", "ATG---"},
+	}
+	ca, err := EncodeCodons(a, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atg, _ := codon.ParseCodon("ATG")
+	ttt, _ := codon.ParseCodon("TTT")
+	if ca.Codons[0][0] != codon.Universal.SenseIndex(atg) || ca.Codons[0][1] != codon.Universal.SenseIndex(ttt) {
+		t.Fatalf("encoding wrong: %v", ca.Codons[0])
+	}
+	if ca.Codons[1][1] != Missing {
+		t.Fatal("gap codon not Missing")
+	}
+	if ca.NumSites() != 2 || ca.NumSeqs() != 2 {
+		t.Fatal("shape wrong")
+	}
+}
+
+func TestEncodeCodonsAmbiguity(t *testing.T) {
+	a := &Alignment{Names: []string{"A"}, Seqs: []string{"ATNTTT"}}
+	ca, err := EncodeCodons(a, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Codons[0][0] != Missing {
+		t.Fatal("N codon should be Missing")
+	}
+}
+
+func TestEncodeCodonsRejectsStops(t *testing.T) {
+	a := &Alignment{Names: []string{"A"}, Seqs: []string{"TAAATG"}}
+	if _, err := EncodeCodons(a, codon.Universal); err == nil {
+		t.Fatal("stop codon accepted")
+	}
+}
+
+func TestEncodeCodonsLengthCheck(t *testing.T) {
+	a := &Alignment{Names: []string{"A"}, Seqs: []string{"ATGT"}}
+	if _, err := EncodeCodons(a, codon.Universal); err == nil {
+		t.Fatal("non-multiple-of-3 accepted")
+	}
+}
+
+func TestCompress(t *testing.T) {
+	a := &Alignment{
+		Names: []string{"A", "B"},
+		// Sites: [ATG/ATG], [TTT/TTC], [ATG/ATG], [TTT/TTC], [CCC/CCC]
+		Seqs: []string{"ATGTTTATGTTTCCC", "ATGTTCATGTTCCCC"},
+	}
+	ca, err := EncodeCodons(a, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Compress(ca)
+	if p.NumPatterns() != 3 {
+		t.Fatalf("patterns = %d, want 3", p.NumPatterns())
+	}
+	if p.NumSites() != 5 {
+		t.Fatalf("sites = %d", p.NumSites())
+	}
+	// Weights must sum to the site count.
+	sum := 0.0
+	for _, w := range p.Weights {
+		sum += w
+	}
+	if sum != 5 {
+		t.Fatalf("weights sum to %g", sum)
+	}
+	// SiteToPattern must reconstruct the original columns.
+	for k := 0; k < 5; k++ {
+		pat := p.Columns[p.SiteToPattern[k]]
+		for s := 0; s < 2; s++ {
+			if pat[s] != ca.Codons[s][k] {
+				t.Fatalf("site %d decompression mismatch", k)
+			}
+		}
+	}
+	// Repeated patterns share indices.
+	if p.SiteToPattern[0] != p.SiteToPattern[2] || p.SiteToPattern[1] != p.SiteToPattern[3] {
+		t.Fatal("identical columns not merged")
+	}
+}
+
+func TestCompressDistinguishesMissing(t *testing.T) {
+	a := &Alignment{
+		Names: []string{"A", "B"},
+		Seqs:  []string{"ATGATG", "ATG---"},
+	}
+	ca, err := EncodeCodons(a, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Compress(ca)
+	// Column 1 (ATG/ATG) differs from column 2 (ATG/Missing).
+	if p.NumPatterns() != 2 {
+		t.Fatalf("patterns = %d, want 2", p.NumPatterns())
+	}
+}
+
+func TestCompressedCounts(t *testing.T) {
+	a := &Alignment{
+		Names: []string{"A", "B"},
+		Seqs:  []string{"ATGATG", "ATGTTT"},
+	}
+	ca, err := EncodeCodons(a, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Compress(ca)
+	counts := p.CountCodonsCompressed()
+	direct := codon.CountCodons(codon.Universal, ca.Codons)
+	for i := range counts {
+		if counts[i] != direct[i] {
+			t.Fatalf("compressed counts disagree at %d: %g vs %g", i, counts[i], direct[i])
+		}
+	}
+	nc := p.NucCountsByPositionCompressed()
+	directNC := codon.NucCountsByPosition(codon.Universal, ca.Codons)
+	for pos := 0; pos < 3; pos++ {
+		for n := 0; n < 4; n++ {
+			if math.Abs(nc[pos][n]-directNC[pos][n]) > 0 {
+				t.Fatalf("nuc counts disagree at [%d][%d]", pos, n)
+			}
+		}
+	}
+}

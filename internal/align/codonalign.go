@@ -1,0 +1,167 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codon"
+)
+
+// Missing marks a gap/ambiguous/unresolvable codon in an encoded
+// sequence. In the likelihood, missing data contributes a conditional
+// probability of 1 for every state (Felsenstein's convention).
+const Missing = -1
+
+// CodonAlignment is an MSA translated to sense-codon indices under a
+// genetic code: Codons[s][k] is the sense index of species s at codon
+// site k, or Missing.
+type CodonAlignment struct {
+	Code   *codon.GeneticCode
+	Names  []string
+	Codons [][]int
+}
+
+// NumSeqs returns the number of sequences.
+func (ca *CodonAlignment) NumSeqs() int { return len(ca.Codons) }
+
+// NumSites returns the number of codon sites.
+func (ca *CodonAlignment) NumSites() int {
+	if len(ca.Codons) == 0 {
+		return 0
+	}
+	return len(ca.Codons[0])
+}
+
+// EncodeCodons translates a nucleotide alignment into codon indices.
+// The alignment length must be divisible by 3. Codons containing gap
+// or ambiguity characters become Missing. A stop codon inside a
+// sequence is an error (the state space excludes stops), matching
+// CodeML's behaviour of rejecting premature stops.
+func EncodeCodons(a *Alignment, gc *codon.GeneticCode) (*CodonAlignment, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Length()%3 != 0 {
+		return nil, fmt.Errorf("align: alignment length %d not divisible by 3", a.Length())
+	}
+	nsites := a.Length() / 3
+	ca := &CodonAlignment{
+		Code:   gc,
+		Names:  append([]string(nil), a.Names...),
+		Codons: make([][]int, a.NumSeqs()),
+	}
+	for s, seq := range a.Seqs {
+		row := make([]int, nsites)
+		for k := 0; k < nsites; k++ {
+			triplet := seq[3*k : 3*k+3]
+			if strings.ContainsAny(triplet, "-.?NnXx*") {
+				row[k] = Missing
+				continue
+			}
+			c, err := codon.ParseCodon(triplet)
+			if err != nil {
+				return nil, fmt.Errorf("align: %s codon %d: %w", a.Names[s], k+1, err)
+			}
+			idx := gc.SenseIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("align: %s codon %d is a stop codon %s", a.Names[s], k+1, c)
+			}
+			row[k] = idx
+		}
+		ca.Codons[s] = row
+	}
+	return ca, nil
+}
+
+// Patterns is a site-pattern-compressed codon alignment: identical
+// alignment columns are stored once with a multiplicity weight. The
+// likelihood of the data is Σ_p Weights[p]·ln L(pattern p), cutting
+// the pruning cost from O(sites) to O(unique patterns).
+type Patterns struct {
+	Code *codon.GeneticCode
+	// Columns[p][s] is the sense codon of species s in pattern p, or
+	// Missing.
+	Columns [][]int
+	// Weights[p] is the number of alignment sites with pattern p.
+	Weights []float64
+	// SiteToPattern maps each original codon site to its pattern.
+	SiteToPattern []int
+	// NumSeqs is the number of species rows in every column.
+	NumSeqs int
+}
+
+// NumPatterns returns the number of unique site patterns.
+func (p *Patterns) NumPatterns() int { return len(p.Columns) }
+
+// NumSites returns the original (uncompressed) number of sites.
+func (p *Patterns) NumSites() int { return len(p.SiteToPattern) }
+
+// Compress builds the site-pattern representation of the alignment.
+func Compress(ca *CodonAlignment) *Patterns {
+	nsites := ca.NumSites()
+	nseqs := ca.NumSeqs()
+	p := &Patterns{
+		Code:          ca.Code,
+		SiteToPattern: make([]int, nsites),
+		NumSeqs:       nseqs,
+	}
+	index := make(map[string]int, nsites)
+	col := make([]int, nseqs)
+	var keyBuf strings.Builder
+	for k := 0; k < nsites; k++ {
+		keyBuf.Reset()
+		for s := 0; s < nseqs; s++ {
+			col[s] = ca.Codons[s][k]
+			// Sense indices fit comfortably in two bytes.
+			v := col[s] + 1 // shift Missing (-1) to 0
+			keyBuf.WriteByte(byte(v & 0xff))
+			keyBuf.WriteByte(byte(v >> 8))
+		}
+		key := keyBuf.String()
+		if at, ok := index[key]; ok {
+			p.Weights[at]++
+			p.SiteToPattern[k] = at
+			continue
+		}
+		at := len(p.Columns)
+		index[key] = at
+		p.Columns = append(p.Columns, append([]int(nil), col...))
+		p.Weights = append(p.Weights, 1)
+		p.SiteToPattern[k] = at
+	}
+	return p
+}
+
+// CountCodonsCompressed tallies weighted sense-codon counts over the
+// patterns, for frequency estimation without decompressing.
+func (p *Patterns) CountCodonsCompressed() []float64 {
+	counts := make([]float64, p.Code.NumStates())
+	for pi, col := range p.Columns {
+		w := p.Weights[pi]
+		for _, ci := range col {
+			if ci >= 0 {
+				counts[ci] += w
+			}
+		}
+	}
+	return counts
+}
+
+// NucCountsByPositionCompressed tallies weighted nucleotide counts per
+// codon position for the F3x4 estimator.
+func (p *Patterns) NucCountsByPositionCompressed() [3][4]float64 {
+	var counts [3][4]float64
+	for pi, col := range p.Columns {
+		w := p.Weights[pi]
+		for _, ci := range col {
+			if ci < 0 {
+				continue
+			}
+			n1, n2, n3 := p.Code.Sense(ci).Nucs()
+			counts[0][n1] += w
+			counts[1][n2] += w
+			counts[2][n3] += w
+		}
+	}
+	return counts
+}

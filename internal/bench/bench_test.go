@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bsm"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func fakePair() *Pair {
+	preset, _ := sim.PresetByID("i")
+	mk := func(kind core.EngineKind, rt0, rt1 time.Duration, it0, it1 int, l0, l1 float64) *EngineResult {
+		return &EngineResult{
+			Engine:     kind,
+			Dataset:    "i",
+			H0:         &core.FitResult{Hypothesis: bsm.H0, LnL: l0, Iterations: it0},
+			H1:         &core.FitResult{Hypothesis: bsm.H1, LnL: l1, Iterations: it1},
+			RuntimeH0:  rt0,
+			RuntimeH1:  rt1,
+			Iterations: it0 + it1,
+		}
+	}
+	return &Pair{
+		Dataset:  preset,
+		Baseline: mk(core.EngineBaseline, 85*time.Second, 100*time.Second, 108, 100, -1000, -995),
+		Slim:     mk(core.EngineSlim, 43*time.Second, 50*time.Second, 108, 100, -1000.000001, -995.0000005),
+	}
+}
+
+func TestComputeSpeedups(t *testing.T) {
+	p := fakePair()
+	s := ComputeSpeedups(p)
+	if math.Abs(s.OverallH0-85.0/43.0) > 1e-12 {
+		t.Fatalf("OverallH0 = %g", s.OverallH0)
+	}
+	if math.Abs(s.OverallH1-2.0) > 1e-12 {
+		t.Fatalf("OverallH1 = %g", s.OverallH1)
+	}
+	if math.Abs(s.Combined-185.0/93.0) > 1e-12 {
+		t.Fatalf("Combined = %g", s.Combined)
+	}
+	// Identical iteration counts → per-iteration equals overall.
+	if math.Abs(s.PerIterH0-s.OverallH0) > 1e-12 || math.Abs(s.PerIterBoth-s.Combined) > 1e-12 {
+		t.Fatalf("per-iteration speedups inconsistent: %+v", s)
+	}
+}
+
+func TestComputeSpeedupsZeroGuard(t *testing.T) {
+	p := fakePair()
+	p.Slim.RuntimeH0 = 0
+	p.Slim.RuntimeH1 = 0
+	p.Slim.H0.Iterations = 0
+	p.Slim.H1.Iterations = 0
+	p.Slim.Iterations = 0
+	s := ComputeSpeedups(p)
+	if s.OverallH0 != 0 || s.PerIterBoth != 0 {
+		t.Fatalf("zero-division guard failed: %+v", s)
+	}
+}
+
+func TestComputeAccuracy(t *testing.T) {
+	acc := ComputeAccuracy(fakePair())
+	if acc.Dataset != "i" {
+		t.Fatalf("dataset %q", acc.Dataset)
+	}
+	// D = |lnL − lnL̂|/|lnL| per §IV-1.
+	wantH0 := 0.000001 / 1000.0
+	wantH1 := 0.0000005 / 995.0
+	if math.Abs(acc.DH0-wantH0) > 1e-15 {
+		t.Fatalf("DH0 = %g, want %g", acc.DH0, wantH0)
+	}
+	if math.Abs(acc.DH1-wantH1) > 1e-15 {
+		t.Fatalf("DH1 = %g, want %g", acc.DH1, wantH1)
+	}
+}
+
+func TestPrintersProduceTables(t *testing.T) {
+	var b strings.Builder
+	PrintTable2(&b)
+	if !strings.Contains(b.String(), "5004") {
+		t.Fatal("Table II missing dataset ii length")
+	}
+	b.Reset()
+	PrintTable3Header(&b)
+	PrintTable3Row(&b, fakePair())
+	out := b.String()
+	if !strings.Contains(out, "185.00") || !strings.Contains(out, "208") {
+		t.Fatalf("Table III row wrong:\n%s", out)
+	}
+	b.Reset()
+	PrintTable4(&b, []*Pair{fakePair()})
+	if !strings.Contains(b.String(), "Per-iteration speedup H0+H1") {
+		t.Fatal("Table IV missing rows")
+	}
+	b.Reset()
+	PrintAccuracy(&b, []Accuracy{ComputeAccuracy(fakePair())})
+	if !strings.Contains(b.String(), "D (H1)") {
+		t.Fatal("accuracy table missing header")
+	}
+	b.Reset()
+	PrintFig3(&b, []Fig3Point{{Species: 15, OverallH0: 2, OverallH1: 2, Combined: 2}})
+	if !strings.Contains(b.String(), "15") {
+		t.Fatal("Fig3 table missing data")
+	}
+}
+
+func TestQuickAndFullConfigs(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.MaxIterations >= f.MaxIterations {
+		t.Fatal("quick must cap iterations below full")
+	}
+}
+
+// End-to-end: the smallest Fig. 3 point runs and produces a positive
+// speedup structure.
+func TestRunFig3Smallest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in -short mode")
+	}
+	pts, err := RunFig3([]int{6}, Config{MaxIterations: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Species != 6 {
+		t.Fatalf("unexpected points: %+v", pts)
+	}
+	if !(pts[0].Combined > 0) {
+		t.Fatalf("no speedup measured: %+v", pts[0])
+	}
+}

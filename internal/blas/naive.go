@@ -1,0 +1,85 @@
+package blas
+
+import "repro/internal/mat"
+
+// Naive reference kernels. These are deliberately unblocked,
+// untiled textbook loops: they model the hand-rolled C inside original
+// CodeML v4.4c, which the paper replaces with tuned BLAS calls. The
+// Baseline engine uses these so the Baseline↔Slim runtime contrast
+// includes the tuned-vs-hand-rolled component the paper measured.
+// They also serve as oracles for the optimized kernels in the tests.
+
+// NaiveGemm computes C ← α·op(A)·op(B) + βC with plain i-j-k loops.
+func NaiveGemm(transA, transB bool, alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
+	m, k := a.Rows, a.Cols
+	if transA {
+		m, k = a.Cols, a.Rows
+	}
+	kb, n := b.Rows, b.Cols
+	if transB {
+		kb, n = b.Cols, b.Rows
+	}
+	if k != kb {
+		panic("blas: NaiveGemm inner dimension mismatch")
+	}
+	if c.Rows != m || c.Cols != n {
+		panic("blas: NaiveGemm output dimension mismatch")
+	}
+	at := func(i, p int) float64 {
+		if transA {
+			return a.At(p, i)
+		}
+		return a.At(i, p)
+	}
+	bt := func(p, j int) float64 {
+		if transB {
+			return b.At(j, p)
+		}
+		return b.At(p, j)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += at(i, p) * bt(p, j)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+// NaiveGemv computes y ← αAx + βy (or the transposed form) with plain
+// nested loops and no attention to access order.
+func NaiveGemv(trans bool, alpha float64, a *mat.Matrix, x []float64, beta float64, y []float64) {
+	m, n := a.Rows, a.Cols
+	if trans {
+		if len(x) != m || len(y) != n {
+			panic("blas: NaiveGemv(T) dimension mismatch")
+		}
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += a.At(i, j) * x[i]
+			}
+			y[j] = alpha*s + beta*y[j]
+		}
+		return
+	}
+	if len(x) != n || len(y) != m {
+		panic("blas: NaiveGemv(N) dimension mismatch")
+	}
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		y[i] = alpha*s + beta*y[i]
+	}
+}
+
+// NaiveSyrk computes the full symmetric C ← α·A·Aᵀ + βC without
+// exploiting symmetry — it performs the ~2n³ flops a general product
+// would, exactly the cost the paper's Eq. 10 reformulation halves.
+func NaiveSyrk(alpha float64, a *mat.Matrix, beta float64, c *mat.Matrix) {
+	NaiveGemm(false, true, alpha, a, a, beta, c)
+}

@@ -1,0 +1,245 @@
+// Package bsm implements branch-site model A (Zhang, Nielsen & Yang
+// 2005), the codon model the paper optimizes CodeML for. The model
+// divides the tree's branches a priori into one foreground branch
+// (marked #1) and background branches, and the alignment sites into
+// four latent classes with the proportions and selective pressures of
+// the paper's Table I:
+//
+//	class  proportion               background  foreground
+//	0      p0                       ω0          ω0
+//	1      p1                       ω1 = 1      ω1 = 1
+//	2a     (1−p0−p1)·p0/(p0+p1)     ω0          ω2
+//	2b     (1−p0−p1)·p1/(p0+p1)     ω1 = 1      ω2
+//
+// Under the alternative hypothesis H1, ω2 > 1 is free (positive
+// selection allowed); under the null H0 it is fixed at ω2 = 1. The
+// likelihood-ratio test of H0 vs H1 is the positive-selection test the
+// whole pipeline exists to run.
+package bsm
+
+import (
+	"fmt"
+
+	"repro/internal/codon"
+)
+
+// Hypothesis selects the null or alternative branch-site model.
+type Hypothesis int
+
+const (
+	// H0 is the null model: ω2 = 1 fixed.
+	H0 Hypothesis = iota
+	// H1 is the alternative model: ω2 > 1 estimated.
+	H1
+)
+
+// String names the hypothesis as the paper does.
+func (h Hypothesis) String() string {
+	if h == H0 {
+		return "H0"
+	}
+	return "H1"
+}
+
+// NumClasses is the number of latent site classes (0, 1, 2a, 2b).
+const NumClasses = 4
+
+// Site class indices.
+const (
+	Class0 = iota
+	Class1
+	Class2a
+	Class2b
+)
+
+// ClassName returns the paper's name for a site class.
+func ClassName(c int) string {
+	switch c {
+	case Class0:
+		return "0"
+	case Class1:
+		return "1"
+	case Class2a:
+		return "2a"
+	case Class2b:
+		return "2b"
+	}
+	return fmt.Sprintf("class(%d)", c)
+}
+
+// Params are the free model parameters of branch-site model A
+// (besides branch lengths): the transition/transversion ratio κ, the
+// conserved-class ω0 ∈ (0,1), the positive-selection ω2 ≥ 1 (exactly 1
+// under H0), and the class proportions p0, p1 (p0, p1 > 0,
+// p0 + p1 ≤ 1).
+type Params struct {
+	Kappa  float64
+	Omega0 float64
+	Omega2 float64
+	P0     float64
+	P1     float64
+}
+
+// Validate checks the parameter constraints for the hypothesis.
+func (p Params) Validate(h Hypothesis) error {
+	if !(p.Kappa > 0) {
+		return fmt.Errorf("bsm: kappa = %g must be positive", p.Kappa)
+	}
+	if !(p.Omega0 > 0) || p.Omega0 >= 1 {
+		return fmt.Errorf("bsm: omega0 = %g must lie in (0,1)", p.Omega0)
+	}
+	switch h {
+	case H0:
+		if p.Omega2 != 1 {
+			return fmt.Errorf("bsm: omega2 = %g must equal 1 under H0", p.Omega2)
+		}
+	case H1:
+		if p.Omega2 < 1 {
+			return fmt.Errorf("bsm: omega2 = %g must be ≥ 1 under H1", p.Omega2)
+		}
+	default:
+		return fmt.Errorf("bsm: unknown hypothesis %d", h)
+	}
+	if !(p.P0 > 0) || !(p.P1 > 0) || p.P0+p.P1 >= 1+1e-12 {
+		return fmt.Errorf("bsm: proportions p0=%g p1=%g invalid", p.P0, p.P1)
+	}
+	return nil
+}
+
+// Proportions returns the four class proportions of Table I. They sum
+// to one.
+func (p Params) Proportions() [NumClasses]float64 {
+	rest := 1 - p.P0 - p.P1
+	if rest < 0 {
+		rest = 0
+	}
+	denom := p.P0 + p.P1
+	return [NumClasses]float64{
+		Class0:  p.P0,
+		Class1:  p.P1,
+		Class2a: rest * p.P0 / denom,
+		Class2b: rest * p.P1 / denom,
+	}
+}
+
+// omega indices into Model.Rates.
+const (
+	rateOmega0 = iota
+	rateOmega1
+	rateOmega2
+	numRates
+)
+
+// classRateBackground[c] selects which rate matrix class c uses on
+// background branches; classRateForeground the same on the foreground
+// branch (Table I columns 3 and 4).
+var (
+	classRateBackground = [NumClasses]int{rateOmega0, rateOmega1, rateOmega0, rateOmega1}
+	classRateForeground = [NumClasses]int{rateOmega0, rateOmega1, rateOmega2, rateOmega2}
+)
+
+// Model is a fully assembled branch-site model: parameters, codon
+// frequencies, the up-to-three distinct rate matrices (ω0, ω1 = 1,
+// ω2), the class proportions, and the shared rate normalizer.
+type Model struct {
+	Code       *codon.GeneticCode
+	Hypothesis Hypothesis
+	Params     Params
+	Pi         []float64
+
+	// Rates holds the rate matrices indexed by omega index; under H0,
+	// Rates[rateOmega2] aliases Rates[rateOmega1] because ω2 = ω1 = 1
+	// (one fewer eigendecomposition, as in CodeML).
+	Rates [numRates]*codon.Rate
+	Props [NumClasses]float64
+
+	// MuBar is the shared normalizer: the expected substitution rate
+	// per codon site along background branches under the class
+	// mixture, μ̄ = Σ_c prop_c·μ(background ω of c). Branch lengths are
+	// measured in expected substitutions per codon on background
+	// branches; every transition matrix is computed as
+	// P_k(t) = exp(Q_k·t/μ̄) with the same μ̄ for all classes and
+	// branches, preserving the relative speed of the classes.
+	MuBar float64
+}
+
+// New assembles the model. pi must be a strictly positive probability
+// vector over the code's sense codons.
+func New(gc *codon.GeneticCode, h Hypothesis, p Params, pi []float64) (*Model, error) {
+	if err := p.Validate(h); err != nil {
+		return nil, err
+	}
+	m := &Model{Code: gc, Hypothesis: h, Params: p, Props: p.Proportions()}
+	m.Pi = append([]float64(nil), pi...)
+
+	var err error
+	if m.Rates[rateOmega0], err = codon.NewRate(gc, p.Kappa, p.Omega0, pi); err != nil {
+		return nil, err
+	}
+	if m.Rates[rateOmega1], err = codon.NewRate(gc, p.Kappa, 1.0, pi); err != nil {
+		return nil, err
+	}
+	if h == H1 && p.Omega2 != 1 {
+		if m.Rates[rateOmega2], err = codon.NewRate(gc, p.Kappa, p.Omega2, pi); err != nil {
+			return nil, err
+		}
+	} else {
+		m.Rates[rateOmega2] = m.Rates[rateOmega1]
+	}
+
+	for c := 0; c < NumClasses; c++ {
+		m.MuBar += m.Props[c] * m.Rates[classRateBackground[c]].Mu
+	}
+	if !(m.MuBar > 0) {
+		return nil, fmt.Errorf("bsm: non-positive rate normalizer %g", m.MuBar)
+	}
+	return m, nil
+}
+
+// NumDistinctRates returns how many distinct rate matrices (and hence
+// eigendecompositions) the model needs: 3 under H1 with ω2 > 1, else 2.
+func (m *Model) NumDistinctRates() int {
+	if m.Rates[rateOmega2] == m.Rates[rateOmega1] {
+		return 2
+	}
+	return 3
+}
+
+// RateFor returns the rate matrix class c uses on a branch with the
+// given foreground status.
+func (m *Model) RateFor(class int, foreground bool) *codon.Rate {
+	if foreground {
+		return m.Rates[classRateForeground[class]]
+	}
+	return m.Rates[classRateBackground[class]]
+}
+
+// RateIndexFor returns the omega index (0, 1 or 2) class c uses on a
+// branch with the given foreground status — the key for per-branch
+// transition-matrix caches.
+func (m *Model) RateIndexFor(class int, foreground bool) int {
+	if foreground {
+		return classRateForeground[class]
+	}
+	return classRateBackground[class]
+}
+
+// DistinctRates lists the distinct rate matrices with their omega
+// indices, for building one eigendecomposition each.
+func (m *Model) DistinctRates() map[int]*codon.Rate {
+	out := map[int]*codon.Rate{
+		rateOmega0: m.Rates[rateOmega0],
+		rateOmega1: m.Rates[rateOmega1],
+	}
+	if m.Rates[rateOmega2] != m.Rates[rateOmega1] {
+		out[rateOmega2] = m.Rates[rateOmega2]
+	}
+	return out
+}
+
+// EffectiveTime converts a branch length (expected substitutions per
+// codon on background branches) to the time argument passed to the
+// matrix exponential of the unnormalized Q matrices.
+func (m *Model) EffectiveTime(branchLength float64) float64 {
+	return branchLength / m.MuBar
+}

@@ -1,0 +1,34 @@
+package bsm
+
+import "repro/internal/codon"
+
+// The methods below adapt Model to the likelihood engine's site-class
+// model contract (lik.Model), so the paper's optimized likelihood
+// computation drives branch-site model A through the same interface
+// as the other codon models (§V-B).
+
+// GeneticCode returns the genetic code the model is built on.
+func (m *Model) GeneticCode() *codon.GeneticCode { return m.Code }
+
+// Frequencies returns the equilibrium codon distribution π.
+func (m *Model) Frequencies() []float64 { return m.Pi }
+
+// NumSiteClasses returns the number of latent site classes (4:
+// 0, 1, 2a, 2b).
+func (m *Model) NumSiteClasses() int { return NumClasses }
+
+// ClassProportions returns the Table I proportions.
+func (m *Model) ClassProportions() []float64 { return m.Props[:] }
+
+// NumRateSlots returns the number of rate-matrix slots (3: ω0, ω1,
+// ω2; under H0 the ω2 slot aliases ω1's matrix).
+func (m *Model) NumRateSlots() int { return numRates }
+
+// RateAt returns the rate matrix in a slot; slots may alias.
+func (m *Model) RateAt(slot int) *codon.Rate { return m.Rates[slot] }
+
+// RateSlotFor returns the slot a class uses on a branch with the
+// given foreground status (Table I columns 3 and 4).
+func (m *Model) RateSlotFor(class int, foreground bool) int {
+	return m.RateIndexFor(class, foreground)
+}

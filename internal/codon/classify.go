@@ -1,0 +1,82 @@
+package codon
+
+// ChangeKind classifies a codon pair (i, j), i ≠ j, into the five
+// cases of the paper's Eq. 1 that determine the instantaneous rate
+// q_ij.
+type ChangeKind uint8
+
+const (
+	// MultipleHit: the codons differ at two or more nucleotide
+	// positions; the model sets q_ij = 0.
+	MultipleHit ChangeKind = iota
+	// SynTransversion: one-position change, same amino acid,
+	// purine↔pyrimidine. Rate π_j.
+	SynTransversion
+	// SynTransition: one-position change, same amino acid, within
+	// purines or within pyrimidines. Rate κ·π_j.
+	SynTransition
+	// NonsynTransversion: one-position change, amino acid changes,
+	// transversion. Rate ω·π_j.
+	NonsynTransversion
+	// NonsynTransition: one-position change, amino acid changes,
+	// transition. Rate ω·κ·π_j.
+	NonsynTransition
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case MultipleHit:
+		return "multiple-hit"
+	case SynTransversion:
+		return "synonymous-transversion"
+	case SynTransition:
+		return "synonymous-transition"
+	case NonsynTransversion:
+		return "nonsynonymous-transversion"
+	case NonsynTransition:
+		return "nonsynonymous-transition"
+	}
+	return "unknown"
+}
+
+// Classify categorizes the change from codon a to codon b under the
+// genetic code. It panics if a == b (no change to classify — the
+// diagonal of Q is determined by the row-sum constraint, not by
+// classification).
+func (gc *GeneticCode) Classify(a, b Codon) ChangeKind {
+	if a == b {
+		panic("codon: Classify called with identical codons")
+	}
+	a1, a2, a3 := a.Nucs()
+	b1, b2, b3 := b.Nucs()
+	diffs := 0
+	var from, to Nuc
+	if a1 != b1 {
+		diffs++
+		from, to = a1, b1
+	}
+	if a2 != b2 {
+		diffs++
+		from, to = a2, b2
+	}
+	if a3 != b3 {
+		diffs++
+		from, to = a3, b3
+	}
+	if diffs != 1 {
+		return MultipleHit
+	}
+	transition := IsTransition(from, to)
+	synonymous := gc.aa[a] == gc.aa[b]
+	switch {
+	case synonymous && transition:
+		return SynTransition
+	case synonymous && !transition:
+		return SynTransversion
+	case !synonymous && transition:
+		return NonsynTransition
+	default:
+		return NonsynTransversion
+	}
+}

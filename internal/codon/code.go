@@ -1,0 +1,201 @@
+// Package codon implements the codon-substitution machinery of the
+// branch-site model: the genetic code, the transition/transversion and
+// synonymous/non-synonymous classification of single-nucleotide codon
+// changes, equilibrium codon frequency estimators, and the
+// instantaneous rate matrix Q = S·Π of the paper's Eq. 1.
+//
+// Codons are indexed in PAML's convention: nucleotides are ordered
+// T, C, A, G and codon TTT has index 0, TTC index 1, …, GGG index 63.
+// Stop codons are excluded from the state space, leaving the n = 61
+// sense codons of the universal code the paper works with.
+package codon
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Nuc is a nucleotide in PAML order.
+type Nuc uint8
+
+// Nucleotides in PAML order (T, C, A, G).
+const (
+	T Nuc = iota
+	C
+	A
+	G
+)
+
+var nucNames = [4]byte{'T', 'C', 'A', 'G'}
+
+// ParseNuc converts a nucleotide character (case-insensitive, U
+// treated as T) to its PAML index.
+func ParseNuc(b byte) (Nuc, error) {
+	switch b {
+	case 'T', 't', 'U', 'u':
+		return T, nil
+	case 'C', 'c':
+		return C, nil
+	case 'A', 'a':
+		return A, nil
+	case 'G', 'g':
+		return G, nil
+	}
+	return 0, fmt.Errorf("codon: invalid nucleotide %q", b)
+}
+
+// String returns the one-letter name of the nucleotide.
+func (n Nuc) String() string { return string(nucNames[n]) }
+
+// IsPurine reports whether the nucleotide is A or G.
+func (n Nuc) IsPurine() bool { return n == A || n == G }
+
+// IsTransition reports whether a↔b is a transition (purine↔purine or
+// pyrimidine↔pyrimidine). Identical nucleotides are not a transition.
+func IsTransition(a, b Nuc) bool {
+	return a != b && a.IsPurine() == b.IsPurine()
+}
+
+// Codon is a triplet index in 0..63 (PAML order).
+type Codon int
+
+// NumCodons is the number of triplets; NumSense the number of sense
+// codons in the universal genetic code (61 after excluding the three
+// stop codons TAA, TAG, TGA) — the dimension of the paper's matrices.
+const (
+	NumCodons = 64
+	NumSense  = 61
+)
+
+// MakeCodon builds a codon index from three nucleotides.
+func MakeCodon(n1, n2, n3 Nuc) Codon {
+	return Codon(int(n1)*16 + int(n2)*4 + int(n3))
+}
+
+// Nucs returns the three nucleotides of the codon.
+func (c Codon) Nucs() (Nuc, Nuc, Nuc) {
+	return Nuc(c / 16), Nuc((c / 4) % 4), Nuc(c % 4)
+}
+
+// String returns the codon as three nucleotide letters (e.g. "ATG").
+func (c Codon) String() string {
+	n1, n2, n3 := c.Nucs()
+	return string([]byte{nucNames[n1], nucNames[n2], nucNames[n3]})
+}
+
+// ParseCodon parses a three-letter codon string.
+func ParseCodon(s string) (Codon, error) {
+	if len(s) != 3 {
+		return 0, fmt.Errorf("codon: %q is not a triplet", s)
+	}
+	n1, err := ParseNuc(s[0])
+	if err != nil {
+		return 0, err
+	}
+	n2, err := ParseNuc(s[1])
+	if err != nil {
+		return 0, err
+	}
+	n3, err := ParseNuc(s[2])
+	if err != nil {
+		return 0, err
+	}
+	return MakeCodon(n1, n2, n3), nil
+}
+
+// universalAA is the universal genetic code in PAML codon order,
+// one letter per codon, '*' marking stops. Built from the standard
+// table: first position runs over T,C,A,G slowest.
+var universalAA = buildUniversalAA()
+
+func buildUniversalAA() [NumCodons]byte {
+	// Rows: first nucleotide T,C,A,G; within a row, second nucleotide
+	// T,C,A,G each contributing four third-position entries in
+	// T,C,A,G order.
+	const table = "" +
+		"FFLL" + "SSSS" + "YY**" + "CC*W" + // T..
+		"LLLL" + "PPPP" + "HHQQ" + "RRRR" + // C..
+		"IIIM" + "TTTT" + "NNKK" + "SSRR" + // A..
+		"VVVV" + "AAAA" + "DDEE" + "GGGG" //   G..
+	var out [NumCodons]byte
+	for n1 := 0; n1 < 4; n1++ {
+		for n2 := 0; n2 < 4; n2++ {
+			for n3 := 0; n3 < 4; n3++ {
+				idx := n1*16 + n2*4 + n3
+				out[idx] = table[n1*16+n2*4+n3]
+			}
+		}
+	}
+	return out
+}
+
+// GeneticCode maps codons to amino acids and enumerates the sense
+// codons. Only the universal code is shipped (the code the paper's
+// datasets use); the type exists so alternative codes plug in without
+// touching callers.
+type GeneticCode struct {
+	name string
+	aa   [NumCodons]byte
+	// sense lists the sense codons in ascending index order; toSense
+	// maps a codon index to its position in sense, or -1 for stops.
+	sense   []Codon
+	toSense [NumCodons]int
+}
+
+// Universal is the standard genetic code with stops TAA, TAG, TGA.
+var Universal = newGeneticCode("universal", universalAA)
+
+func newGeneticCode(name string, aa [NumCodons]byte) *GeneticCode {
+	gc := &GeneticCode{name: name, aa: aa}
+	for i := range gc.toSense {
+		gc.toSense[i] = -1
+	}
+	for c := Codon(0); c < NumCodons; c++ {
+		if aa[c] != '*' {
+			gc.toSense[c] = len(gc.sense)
+			gc.sense = append(gc.sense, c)
+		}
+	}
+	return gc
+}
+
+// Name returns the code's name.
+func (gc *GeneticCode) Name() string { return gc.name }
+
+// NumStates returns the number of sense codons (61 for the universal
+// code) — the dimension of the substitution matrices.
+func (gc *GeneticCode) NumStates() int { return len(gc.sense) }
+
+// AminoAcid returns the one-letter amino acid for the codon, '*' for a
+// stop codon.
+func (gc *GeneticCode) AminoAcid(c Codon) byte { return gc.aa[c] }
+
+// IsStop reports whether the codon is a stop codon.
+func (gc *GeneticCode) IsStop(c Codon) bool { return gc.aa[c] == '*' }
+
+// Sense returns the codon with sense index i (0 ≤ i < NumStates).
+func (gc *GeneticCode) Sense(i int) Codon { return gc.sense[i] }
+
+// SenseIndex returns the sense index of codon c, or -1 for a stop.
+func (gc *GeneticCode) SenseIndex(c Codon) int { return gc.toSense[c] }
+
+// SenseCodons returns all sense codons in index order. The returned
+// slice must not be modified.
+func (gc *GeneticCode) SenseCodons() []Codon { return gc.sense }
+
+// Translate converts a nucleotide sequence (length divisible by 3)
+// into its amino acid string; stops translate to '*'.
+func (gc *GeneticCode) Translate(seq string) (string, error) {
+	if len(seq)%3 != 0 {
+		return "", fmt.Errorf("codon: sequence length %d not divisible by 3", len(seq))
+	}
+	var b strings.Builder
+	for i := 0; i+3 <= len(seq); i += 3 {
+		c, err := ParseCodon(seq[i : i+3])
+		if err != nil {
+			return "", fmt.Errorf("codon: position %d: %w", i, err)
+		}
+		b.WriteByte(gc.aa[c])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,286 @@
+package codon
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseNuc(t *testing.T) {
+	cases := map[byte]Nuc{'T': T, 't': T, 'U': T, 'u': T, 'C': C, 'c': C, 'A': A, 'a': A, 'G': G, 'g': G}
+	for b, want := range cases {
+		got, err := ParseNuc(b)
+		if err != nil || got != want {
+			t.Fatalf("ParseNuc(%q) = %v, %v", b, got, err)
+		}
+	}
+	if _, err := ParseNuc('N'); err == nil {
+		t.Fatal("expected error for N")
+	}
+}
+
+func TestTransitionClassification(t *testing.T) {
+	// Transitions: T↔C (pyrimidines), A↔G (purines).
+	if !IsTransition(T, C) || !IsTransition(C, T) || !IsTransition(A, G) || !IsTransition(G, A) {
+		t.Fatal("missed a transition")
+	}
+	for _, pair := range [][2]Nuc{{T, A}, {T, G}, {C, A}, {C, G}} {
+		if IsTransition(pair[0], pair[1]) || IsTransition(pair[1], pair[0]) {
+			t.Fatalf("%v↔%v misclassified as transition", pair[0], pair[1])
+		}
+	}
+	if IsTransition(A, A) {
+		t.Fatal("identical nucleotides are not a transition")
+	}
+}
+
+func TestCodonRoundTrip(t *testing.T) {
+	for c := Codon(0); c < NumCodons; c++ {
+		parsed, err := ParseCodon(c.String())
+		if err != nil || parsed != c {
+			t.Fatalf("round trip failed for %v: %v, %v", c, parsed, err)
+		}
+	}
+}
+
+func TestParseCodonErrors(t *testing.T) {
+	for _, s := range []string{"", "AT", "ATGC", "ANT", "AT-"} {
+		if _, err := ParseCodon(s); err == nil {
+			t.Fatalf("expected error for %q", s)
+		}
+	}
+}
+
+func TestPAMLCodonOrder(t *testing.T) {
+	// PAML order: TTT=0, TTC=1, TTA=2, TTG=3, TCT=4, ..., GGG=63.
+	checks := map[string]Codon{"TTT": 0, "TTC": 1, "TTA": 2, "TTG": 3, "TCT": 4, "GGG": 63, "CTT": 16, "ATG": 35}
+	for s, want := range checks {
+		c, err := ParseCodon(s)
+		if err != nil || c != want {
+			t.Fatalf("ParseCodon(%s) = %d, want %d", s, c, want)
+		}
+	}
+}
+
+func TestUniversalCodeStops(t *testing.T) {
+	stops := []string{"TAA", "TAG", "TGA"}
+	count := 0
+	for c := Codon(0); c < NumCodons; c++ {
+		if Universal.IsStop(c) {
+			count++
+			found := false
+			for _, s := range stops {
+				if c.String() == s {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v wrongly marked as stop", c)
+			}
+		}
+	}
+	if count != 3 {
+		t.Fatalf("found %d stops, want 3", count)
+	}
+	if Universal.NumStates() != NumSense {
+		t.Fatalf("NumStates = %d, want %d", Universal.NumStates(), NumSense)
+	}
+}
+
+func TestUniversalCodeKnownTranslations(t *testing.T) {
+	known := map[string]byte{
+		"ATG": 'M', "TGG": 'W', "TTT": 'F', "AAA": 'K', "GGG": 'G',
+		"TCT": 'S', "AGT": 'S', "CGA": 'R', "AGA": 'R', "ATA": 'I',
+		"CAT": 'H', "GAT": 'D', "GAA": 'E', "TAT": 'Y', "TGT": 'C',
+		"CAA": 'Q', "AAT": 'N', "CCC": 'P', "ACC": 'T', "GCC": 'A',
+		"GTT": 'V', "CTG": 'L', "TTA": 'L',
+	}
+	for s, aa := range known {
+		c, _ := ParseCodon(s)
+		if got := Universal.AminoAcid(c); got != aa {
+			t.Fatalf("AminoAcid(%s) = %c, want %c", s, got, aa)
+		}
+	}
+}
+
+func TestSenseIndexing(t *testing.T) {
+	// Sense indices must be a bijection onto 0..60 in codon order.
+	seen := make(map[int]bool)
+	for c := Codon(0); c < NumCodons; c++ {
+		idx := Universal.SenseIndex(c)
+		if Universal.IsStop(c) {
+			if idx != -1 {
+				t.Fatalf("stop codon %v has sense index %d", c, idx)
+			}
+			continue
+		}
+		if idx < 0 || idx >= NumSense || seen[idx] {
+			t.Fatalf("bad sense index %d for %v", idx, c)
+		}
+		seen[idx] = true
+		if Universal.Sense(idx) != c {
+			t.Fatalf("Sense(SenseIndex(%v)) != %v", c, c)
+		}
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	got, err := Universal.Translate("ATGTTTTAA")
+	if err != nil || got != "MF*" {
+		t.Fatalf("Translate = %q, %v", got, err)
+	}
+	if _, err := Universal.Translate("ATGT"); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Universal.Translate("ATGNNT"); err == nil {
+		t.Fatal("expected invalid nucleotide error")
+	}
+}
+
+func TestClassifyCases(t *testing.T) {
+	mustCodon := func(s string) Codon {
+		c, err := ParseCodon(s)
+		if err != nil {
+			t.Fatalf("bad codon %q: %v", s, err)
+		}
+		return c
+	}
+	cases := []struct {
+		a, b string
+		want ChangeKind
+	}{
+		// TTT(F) → TTC(F): third-position T→C, same aa, transition.
+		{"TTT", "TTC", SynTransition},
+		// CTT(L) → CTA(L): T→A, same aa, transversion.
+		{"CTT", "CTA", SynTransversion},
+		// TTT(F) → TCT(S): second position T→C, aa changes, transition.
+		{"TTT", "TCT", NonsynTransition},
+		// TTT(F) → TGT(C): T→G, aa changes, transversion.
+		{"TTT", "TGT", NonsynTransversion},
+		// Two positions differ.
+		{"TTT", "TCC", MultipleHit},
+		// All three positions differ.
+		{"TTT", "CCC", MultipleHit},
+		// AGA(R) → AGG(R): A→G third position, same aa, transition.
+		{"AGA", "AGG", SynTransition},
+		// ATG(M) → ATA(I): G→A, aa changes, transition.
+		{"ATG", "ATA", NonsynTransition},
+	}
+	for _, tc := range cases {
+		got := Universal.Classify(mustCodon(tc.a), mustCodon(tc.b))
+		if got != tc.want {
+			t.Fatalf("Classify(%s→%s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		// Kind is symmetric in its arguments.
+		rev := Universal.Classify(mustCodon(tc.b), mustCodon(tc.a))
+		if rev != tc.want {
+			t.Fatalf("Classify(%s→%s) = %v, want symmetric %v", tc.b, tc.a, rev, tc.want)
+		}
+	}
+}
+
+func TestClassifyIdenticalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Universal.Classify(0, 0)
+}
+
+func TestChangeKindString(t *testing.T) {
+	kinds := []ChangeKind{MultipleHit, SynTransversion, SynTransition, NonsynTransversion, NonsynTransition}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("bad String for %d: %q", k, s)
+		}
+		seen[s] = true
+	}
+	if ChangeKind(99).String() != "unknown" {
+		t.Fatal("out-of-range kind should be unknown")
+	}
+}
+
+func TestUniformFrequencies(t *testing.T) {
+	pi := UniformFrequencies(Universal)
+	if len(pi) != NumSense {
+		t.Fatal("wrong length")
+	}
+	for _, p := range pi {
+		if math.Abs(p-1.0/61) > 1e-15 {
+			t.Fatalf("non-uniform: %g", p)
+		}
+	}
+}
+
+func TestF61(t *testing.T) {
+	counts := make([]float64, NumSense)
+	counts[0] = 30
+	counts[1] = 70
+	pi, err := F61(Universal, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range pi {
+		if p <= 0 {
+			t.Fatal("F61 produced non-positive frequency")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("F61 sum = %g", sum)
+	}
+	// Dominant codons keep roughly their proportions.
+	if math.Abs(pi[1]/pi[0]-70.0/30.0) > 1e-3 {
+		t.Fatalf("F61 ratio distorted: %g", pi[1]/pi[0])
+	}
+	if _, err := F61(Universal, make([]float64, NumSense)); err == nil {
+		t.Fatal("expected error for all-zero counts")
+	}
+	if _, err := F61(Universal, make([]float64, 3)); err == nil {
+		t.Fatal("expected error for wrong length")
+	}
+}
+
+func TestF3x4(t *testing.T) {
+	// Uniform nucleotide counts at every position → frequencies
+	// proportional to 1 for every sense codon → uniform over 61.
+	var counts [3][4]float64
+	for p := 0; p < 3; p++ {
+		for n := 0; n < 4; n++ {
+			counts[p][n] = 25
+		}
+	}
+	pi, err := F3x4(Universal, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pi {
+		if math.Abs(p-1.0/61) > 1e-9 {
+			t.Fatalf("expected uniform, got %g", p)
+		}
+	}
+	// Zero column must error.
+	counts[1] = [4]float64{}
+	if _, err := F3x4(Universal, counts); err == nil {
+		t.Fatal("expected error for empty position counts")
+	}
+}
+
+func TestCountCodonsAndNucCounts(t *testing.T) {
+	seqs := [][]int{{0, 1, -1}, {0, 5}}
+	counts := CountCodons(Universal, seqs)
+	if counts[0] != 2 || counts[1] != 1 || counts[5] != 1 {
+		t.Fatalf("counts wrong: %v", counts[:8])
+	}
+	nc := NucCountsByPosition(Universal, seqs)
+	totalPerPos := 0.0
+	for n := 0; n < 4; n++ {
+		totalPerPos += nc[0][n]
+	}
+	if totalPerPos != 4 { // four non-gap codons observed
+		t.Fatalf("position totals wrong: %v", nc)
+	}
+}

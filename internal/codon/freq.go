@@ -1,0 +1,149 @@
+package codon
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Equilibrium codon frequency estimators. The paper ("the codon
+// frequencies π_i used in the model are determined empirically from
+// the MSA") leaves the estimator to CodeML's CodonFreq setting; the
+// two standard choices are implemented: F61 (one free frequency per
+// sense codon) and F3x4 (products of position-specific nucleotide
+// frequencies). Both return a strictly positive probability vector
+// over sense codons — positivity is required because the
+// symmetrization of Eq. 2 uses Π^{±1/2}.
+
+// freqFloor is the smallest admitted codon frequency. Observed counts
+// of zero would otherwise produce π_i = 0 and break Π^{-1/2}; CodeML
+// handles this the same way, with a small positive floor.
+const freqFloor = 1e-7
+
+// CountCodons tallies sense-codon occurrences over a set of codon
+// sequences given as sense indices (see Alignment types in
+// internal/align). Negative indices (gaps/ambiguities) are skipped.
+func CountCodons(gc *GeneticCode, seqs [][]int) []float64 {
+	counts := make([]float64, gc.NumStates())
+	for _, s := range seqs {
+		for _, ci := range s {
+			if ci >= 0 {
+				counts[ci]++
+			}
+		}
+	}
+	return counts
+}
+
+// F61 estimates codon frequencies as observed proportions with a
+// positivity floor.
+func F61(gc *GeneticCode, counts []float64) ([]float64, error) {
+	n := gc.NumStates()
+	if len(counts) != n {
+		return nil, fmt.Errorf("codon: F61 needs %d counts, got %d", n, len(counts))
+	}
+	total := mat.VecSum(counts)
+	if total <= 0 {
+		return nil, fmt.Errorf("codon: F61 with no observed codons")
+	}
+	pi := make([]float64, n)
+	for i, c := range counts {
+		pi[i] = c / total
+		if pi[i] < freqFloor {
+			pi[i] = freqFloor
+		}
+	}
+	mat.Normalize(pi)
+	return pi, nil
+}
+
+// F3x4 estimates codon frequencies as the product of the nucleotide
+// frequencies observed at each of the three codon positions,
+// renormalized over sense codons (stop codons carry no mass).
+// nucCounts[p][n] is the count of nucleotide n (PAML order) at codon
+// position p.
+func F3x4(gc *GeneticCode, nucCounts [3][4]float64) ([]float64, error) {
+	var posFreq [3][4]float64
+	for p := 0; p < 3; p++ {
+		total := 0.0
+		for n := 0; n < 4; n++ {
+			total += nucCounts[p][n]
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("codon: F3x4 position %d has no counts", p+1)
+		}
+		for n := 0; n < 4; n++ {
+			posFreq[p][n] = nucCounts[p][n] / total
+			if posFreq[p][n] < freqFloor {
+				posFreq[p][n] = freqFloor
+			}
+		}
+	}
+	pi := make([]float64, gc.NumStates())
+	for i := range pi {
+		n1, n2, n3 := gc.Sense(i).Nucs()
+		pi[i] = posFreq[0][n1] * posFreq[1][n2] * posFreq[2][n3]
+		if pi[i] < freqFloor {
+			pi[i] = freqFloor
+		}
+	}
+	mat.Normalize(pi)
+	return pi, nil
+}
+
+// NucCountsByPosition tallies nucleotide counts per codon position
+// from sense-index sequences, for use with F3x4.
+func NucCountsByPosition(gc *GeneticCode, seqs [][]int) [3][4]float64 {
+	var counts [3][4]float64
+	for _, s := range seqs {
+		for _, ci := range s {
+			if ci < 0 {
+				continue
+			}
+			n1, n2, n3 := gc.Sense(ci).Nucs()
+			counts[0][n1]++
+			counts[1][n2]++
+			counts[2][n3]++
+		}
+	}
+	return counts
+}
+
+// F1x4 estimates codon frequencies as products of a single set of
+// nucleotide frequencies shared by the three codon positions (CodeML's
+// CodonFreq = 1). nucCounts[n] is the total count of nucleotide n
+// (PAML order) across all positions.
+func F1x4(gc *GeneticCode, nucCounts [4]float64) ([]float64, error) {
+	total := nucCounts[0] + nucCounts[1] + nucCounts[2] + nucCounts[3]
+	if total <= 0 {
+		return nil, fmt.Errorf("codon: F1x4 with no counts")
+	}
+	var freq [4]float64
+	for n := 0; n < 4; n++ {
+		freq[n] = nucCounts[n] / total
+		if freq[n] < freqFloor {
+			freq[n] = freqFloor
+		}
+	}
+	pi := make([]float64, gc.NumStates())
+	for i := range pi {
+		n1, n2, n3 := gc.Sense(i).Nucs()
+		pi[i] = freq[n1] * freq[n2] * freq[n3]
+		if pi[i] < freqFloor {
+			pi[i] = freqFloor
+		}
+	}
+	mat.Normalize(pi)
+	return pi, nil
+}
+
+// UniformFrequencies returns the uniform distribution over sense
+// codons (CodeML's CodonFreq = 0, "Fequal").
+func UniformFrequencies(gc *GeneticCode) []float64 {
+	n := gc.NumStates()
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	return pi
+}

@@ -1,0 +1,27 @@
+package codon
+
+// VertebrateMt is the vertebrate mitochondrial genetic code (NCBI
+// translation table 2), CodeML's icode = 1. Relative to the universal
+// code: AGA and AGG become stop codons, ATA codes for methionine, and
+// TGA codes for tryptophan — leaving 60 sense codons, so all matrix
+// dimensions shrink by one. Every package in this repository reads the
+// state count from the GeneticCode, so the mitochondrial model works
+// throughout (rate matrices, likelihood, simulation) without further
+// changes.
+var VertebrateMt = newGeneticCode("vertebrate-mt", vertebrateMtAA())
+
+func vertebrateMtAA() [NumCodons]byte {
+	aa := universalAA // copy (arrays are values)
+	set := func(s string, b byte) {
+		c, err := ParseCodon(s)
+		if err != nil {
+			panic("codon: bad builtin codon " + s)
+		}
+		aa[c] = b
+	}
+	set("AGA", '*')
+	set("AGG", '*')
+	set("ATA", 'M')
+	set("TGA", 'W')
+	return aa
+}

@@ -1,0 +1,134 @@
+package codon
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVertebrateMtStops(t *testing.T) {
+	stops := map[string]bool{"TAA": true, "TAG": true, "AGA": true, "AGG": true}
+	count := 0
+	for c := Codon(0); c < NumCodons; c++ {
+		if VertebrateMt.IsStop(c) {
+			count++
+			if !stops[c.String()] {
+				t.Fatalf("%v wrongly a stop in mt code", c)
+			}
+		}
+	}
+	if count != 4 {
+		t.Fatalf("mt code has %d stops, want 4", count)
+	}
+	if VertebrateMt.NumStates() != 60 {
+		t.Fatalf("mt code has %d sense codons, want 60", VertebrateMt.NumStates())
+	}
+}
+
+func TestVertebrateMtReassignments(t *testing.T) {
+	mustC := func(s string) Codon {
+		c, err := ParseCodon(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if VertebrateMt.AminoAcid(mustC("ATA")) != 'M' {
+		t.Fatal("ATA should be Met in mt code")
+	}
+	if VertebrateMt.AminoAcid(mustC("TGA")) != 'W' {
+		t.Fatal("TGA should be Trp in mt code")
+	}
+	// TGA is a stop in the universal code but sense here.
+	if VertebrateMt.SenseIndex(mustC("TGA")) < 0 {
+		t.Fatal("TGA should be a sense codon in mt code")
+	}
+	if Universal.SenseIndex(mustC("TGA")) >= 0 {
+		t.Fatal("TGA should be a stop in the universal code")
+	}
+	// Shared translations stay put.
+	if VertebrateMt.AminoAcid(mustC("ATG")) != 'M' || VertebrateMt.AminoAcid(mustC("TGG")) != 'W' {
+		t.Fatal("unreassigned codons changed")
+	}
+}
+
+// The whole rate-matrix machinery must work at n = 60: build a rate
+// matrix under the mitochondrial code and verify its invariants.
+func TestRateMatrixUnderMtCode(t *testing.T) {
+	pi := UniformFrequencies(VertebrateMt)
+	if len(pi) != 60 {
+		t.Fatalf("uniform mt frequencies length %d", len(pi))
+	}
+	r, err := NewRate(VertebrateMt, 2.5, 0.4, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Q.Rows != 60 {
+		t.Fatalf("mt rate matrix is %d×%d", r.Q.Rows, r.Q.Cols)
+	}
+	for i := 0; i < 60; i++ {
+		sum := 0.0
+		for j := 0; j < 60; j++ {
+			sum += r.Q.At(i, j)
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Fatalf("mt row %d sums to %g", i, sum)
+		}
+	}
+	if v := r.ReversibilityCheck(); v > 1e-15 {
+		t.Fatalf("mt detailed balance violated by %g", v)
+	}
+}
+
+// AGA↔AGG is a synonymous transition under the universal code but
+// involves stop codons (rate irrelevant) in the mitochondrial code —
+// classification must use the right code's translations.
+func TestClassificationDependsOnCode(t *testing.T) {
+	aga, _ := ParseCodon("AGA")
+	cga, _ := ParseCodon("CGA")
+	// AGA(R) vs CGA(R): synonymous under universal.
+	if Universal.Classify(aga, cga) != SynTransversion {
+		t.Fatalf("universal AGA→CGA = %v", Universal.Classify(aga, cga))
+	}
+	// Under mt, AGA is a stop — it is simply not part of the state
+	// space, so NewRate never asks about it; but translation must
+	// reflect the difference.
+	if VertebrateMt.AminoAcid(aga) != '*' {
+		t.Fatal("AGA should be a stop in mt code")
+	}
+}
+
+func TestF1x4(t *testing.T) {
+	// Uniform nucleotide counts → uniform codon frequencies.
+	pi, err := F1x4(Universal, [4]float64{25, 25, 25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pi {
+		if math.Abs(p-1.0/61) > 1e-9 {
+			t.Fatalf("expected uniform, got %g", p)
+		}
+	}
+	// Skewed counts → skewed codons; still a distribution.
+	pi, err = F1x4(Universal, [4]float64{70, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range pi {
+		if !(p > 0) {
+			t.Fatal("non-positive F1x4 frequency")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("F1x4 sums to %g", sum)
+	}
+	ttt, _ := ParseCodon("TTT")
+	aaa, _ := ParseCodon("AAA")
+	if pi[Universal.SenseIndex(ttt)] <= pi[Universal.SenseIndex(aaa)] {
+		t.Fatal("T-rich codon should dominate with T-rich counts")
+	}
+	if _, err := F1x4(Universal, [4]float64{}); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+}

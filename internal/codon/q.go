@@ -1,0 +1,127 @@
+package codon
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Rate holds the instantaneous rate matrix of Eq. 1 for one
+// (κ, ω, π) triple, in the factored form Q = S·Π the paper's
+// symmetrization (Eq. 2) requires:
+//
+//	q_ij = s_ij·π_j  with  s_ij = {1, κ, ω, ωκ} by change kind,
+//
+// where S is symmetric because the change classification of (i, j) is
+// symmetric in its arguments. The diagonal of S is chosen so that Q
+// has zero row sums.
+//
+// Q is left unnormalized; Mu = -Σ_i π_i q_ii is the mean substitution
+// rate, and callers rescale time (t_eff = t/μ̄ with the shared
+// mixture normalizer μ̄, see internal/bsm) rather than the matrix, so
+// that one eigendecomposition serves every branch length and scale.
+type Rate struct {
+	Kappa float64
+	Omega float64
+	Pi    []float64 // equilibrium frequencies over sense codons
+
+	S  *mat.Matrix // symmetric exchangeability factor (with diagonal)
+	Q  *mat.Matrix // S·Π, zero row sums, unnormalized
+	Mu float64     // mean rate -Σ π_i q_ii of the unnormalized Q
+}
+
+// NewRate builds the rate matrix for the given parameters under the
+// genetic code. κ and ω must be positive; π must be a strictly
+// positive probability vector over the code's sense codons.
+func NewRate(gc *GeneticCode, kappa, omega float64, pi []float64) (*Rate, error) {
+	n := gc.NumStates()
+	if len(pi) != n {
+		return nil, fmt.Errorf("codon: NewRate needs %d frequencies, got %d", n, len(pi))
+	}
+	if !(kappa > 0) {
+		return nil, fmt.Errorf("codon: kappa must be positive, got %g", kappa)
+	}
+	if !(omega > 0) {
+		return nil, fmt.Errorf("codon: omega must be positive, got %g", omega)
+	}
+	for i, p := range pi {
+		if !(p > 0) {
+			return nil, fmt.Errorf("codon: frequency %d is %g, must be positive", i, p)
+		}
+	}
+
+	s := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		ci := gc.Sense(i)
+		for j := i + 1; j < n; j++ {
+			cj := gc.Sense(j)
+			var v float64
+			switch gc.Classify(ci, cj) {
+			case MultipleHit:
+				v = 0
+			case SynTransversion:
+				v = 1
+			case SynTransition:
+				v = kappa
+			case NonsynTransversion:
+				v = omega
+			case NonsynTransition:
+				v = omega * kappa
+			}
+			s.Set(i, j, v)
+			s.Set(j, i, v)
+		}
+	}
+
+	// Q = S·Π off-diagonal; set diagonals for zero row sums and
+	// accumulate the mean rate μ = Σ_i π_i Σ_{j≠i} q_ij.
+	q := mat.New(n, n)
+	mu := 0.0
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		srow, qrow := s.Row(i), q.Row(i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			qij := srow[j] * pi[j]
+			qrow[j] = qij
+			rowSum += qij
+		}
+		qrow[i] = -rowSum
+		// Matching diagonal for S so that Q = S·Π holds exactly on the
+		// diagonal as well: s_ii = q_ii/π_i.
+		srow[i] = -rowSum / pi[i]
+		mu += pi[i] * rowSum
+	}
+
+	return &Rate{
+		Kappa: kappa,
+		Omega: omega,
+		Pi:    mat.VecClone(pi),
+		S:     s,
+		Q:     q,
+		Mu:    mu,
+	}, nil
+}
+
+// ReversibilityCheck returns the largest violation of detailed
+// balance |π_i q_ij − π_j q_ji| over all pairs; exact zero up to
+// rounding for matrices built by NewRate. Exposed for tests and
+// diagnostics.
+func (r *Rate) ReversibilityCheck() float64 {
+	n := r.Q.Rows
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := r.Pi[i]*r.Q.At(i, j) - r.Pi[j]*r.Q.At(j, i)
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

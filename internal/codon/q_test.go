@@ -1,0 +1,237 @@
+package codon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPi(rng *rand.Rand) []float64 {
+	pi := make([]float64, NumSense)
+	sum := 0.0
+	for i := range pi {
+		pi[i] = 0.05 + rng.Float64()
+		sum += pi[i]
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi
+}
+
+func TestNewRateValidation(t *testing.T) {
+	pi := UniformFrequencies(Universal)
+	if _, err := NewRate(Universal, -1, 0.5, pi); err == nil {
+		t.Fatal("negative kappa accepted")
+	}
+	if _, err := NewRate(Universal, 2, 0, pi); err == nil {
+		t.Fatal("zero omega accepted")
+	}
+	if _, err := NewRate(Universal, 2, 0.5, pi[:10]); err == nil {
+		t.Fatal("short pi accepted")
+	}
+	bad := UniformFrequencies(Universal)
+	bad[0] = 0
+	if _, err := NewRate(Universal, 2, 0.5, bad); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+}
+
+func TestRateRowSumsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	r, err := NewRate(Universal, 2.5, 0.4, randomPi(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumSense; i++ {
+		sum := 0.0
+		for j := 0; j < NumSense; j++ {
+			sum += r.Q.At(i, j)
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestRateOffDiagonalSigns(t *testing.T) {
+	r, err := NewRate(Universal, 2, 0.5, UniformFrequencies(Universal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumSense; i++ {
+		for j := 0; j < NumSense; j++ {
+			v := r.Q.At(i, j)
+			if i == j {
+				if v >= 0 {
+					t.Fatalf("diagonal (%d,%d) = %g not negative", i, j, v)
+				}
+			} else if v < 0 {
+				t.Fatalf("off-diagonal (%d,%d) = %g negative", i, j, v)
+			}
+		}
+	}
+}
+
+func TestRateMultipleHitsZero(t *testing.T) {
+	r, err := NewRate(Universal, 2, 0.5, UniformFrequencies(Universal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumSense; i++ {
+		ci := Universal.Sense(i)
+		for j := 0; j < NumSense; j++ {
+			if i == j {
+				continue
+			}
+			cj := Universal.Sense(j)
+			if Universal.Classify(ci, cj) == MultipleHit && r.Q.At(i, j) != 0 {
+				t.Fatalf("multiple-hit rate (%v→%v) = %g, want 0", ci, cj, r.Q.At(i, j))
+			}
+		}
+	}
+}
+
+// Eq. 1: the off-diagonal rates must be exactly {1, κ, ω, ωκ}·π_j.
+func TestRateMatchesEquationOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pi := randomPi(rng)
+	kappa, omega := 3.1, 0.27
+	r, err := NewRate(Universal, kappa, omega, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumSense; i++ {
+		ci := Universal.Sense(i)
+		for j := 0; j < NumSense; j++ {
+			if i == j {
+				continue
+			}
+			cj := Universal.Sense(j)
+			var factor float64
+			switch Universal.Classify(ci, cj) {
+			case MultipleHit:
+				factor = 0
+			case SynTransversion:
+				factor = 1
+			case SynTransition:
+				factor = kappa
+			case NonsynTransversion:
+				factor = omega
+			case NonsynTransition:
+				factor = omega * kappa
+			}
+			want := factor * pi[j]
+			if math.Abs(r.Q.At(i, j)-want) > 1e-15 {
+				t.Fatalf("q(%v→%v) = %g, want %g", ci, cj, r.Q.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestRateDetailedBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	r, err := NewRate(Universal, 1.7, 1.9, randomPi(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.ReversibilityCheck(); v > 1e-15 {
+		t.Fatalf("detailed balance violated by %g", v)
+	}
+}
+
+func TestRateSymmetricFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pi := randomPi(rng)
+	r, err := NewRate(Universal, 2.2, 0.6, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal S symmetric.
+	for i := 0; i < NumSense; i++ {
+		for j := i + 1; j < NumSense; j++ {
+			if r.S.At(i, j) != r.S.At(j, i) {
+				t.Fatalf("S not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Q = S·Π including the diagonal.
+	for i := 0; i < NumSense; i++ {
+		for j := 0; j < NumSense; j++ {
+			want := r.S.At(i, j) * pi[j]
+			if math.Abs(r.Q.At(i, j)-want) > 1e-12 {
+				t.Fatalf("Q != S·Π at (%d,%d): %g vs %g", i, j, r.Q.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestRateMuPositive(t *testing.T) {
+	r, err := NewRate(Universal, 2, 0.5, UniformFrequencies(Universal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Mu > 0) {
+		t.Fatalf("mean rate %g not positive", r.Mu)
+	}
+	// μ must equal -Σ π_i q_ii.
+	sum := 0.0
+	for i := 0; i < NumSense; i++ {
+		sum -= r.Pi[i] * r.Q.At(i, i)
+	}
+	if math.Abs(sum-r.Mu) > 1e-12 {
+		t.Fatalf("Mu = %g, recomputed %g", r.Mu, sum)
+	}
+}
+
+// Property: μ scales linearly in ω for fixed κ and π in the sense that
+// larger ω gives strictly larger mean rate (more changes allowed).
+func TestRateMuMonotoneInOmega(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pi := randomPi(rng)
+		kappa := 0.5 + 4*rng.Float64()
+		w1 := 0.1 + rng.Float64()
+		w2 := w1 + 0.5
+		r1, err1 := NewRate(Universal, kappa, w1, pi)
+		r2, err2 := NewRate(Universal, kappa, w2, pi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.Mu > r1.Mu
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ω = 1 must make the codon process insensitive to amino-acid
+// boundaries: rates depend only on ts/tv and π.
+func TestRateOmegaOneCollapsesSynNonsyn(t *testing.T) {
+	pi := UniformFrequencies(Universal)
+	r, err := NewRate(Universal, 2.0, 1.0, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumSense; i++ {
+		ci := Universal.Sense(i)
+		for j := 0; j < NumSense; j++ {
+			if i == j {
+				continue
+			}
+			cj := Universal.Sense(j)
+			kind := Universal.Classify(ci, cj)
+			want := 0.0
+			switch kind {
+			case SynTransversion, NonsynTransversion:
+				want = pi[j]
+			case SynTransition, NonsynTransition:
+				want = 2.0 * pi[j]
+			}
+			if math.Abs(r.Q.At(i, j)-want) > 1e-15 {
+				t.Fatalf("ω=1 rate (%v→%v) = %g, want %g", ci, cj, r.Q.At(i, j), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/codon"
+	"repro/internal/lik"
+	"repro/internal/optimize"
+	"repro/internal/sitemodel"
+)
+
+func TestSliceEqual(t *testing.T) {
+	if !sliceEqual(nil, nil) || !sliceEqual([]float64{1, 2}, []float64{1, 2}) {
+		t.Fatal("equal slices not equal")
+	}
+	if sliceEqual([]float64{1}, []float64{1, 2}) || sliceEqual([]float64{1}, []float64{2}) {
+		t.Fatal("unequal slices equal")
+	}
+}
+
+// The fitter must rebuild the model (and pay eigendecompositions) only
+// when the model-parameter prefix changes, not on branch-length-only
+// probes.
+func TestFitterModelRebuildCaching(t *testing.T) {
+	a, tr := smallDataset(t, 70, 15)
+	sa, err := NewSiteAnalysis(a, tr, Options{Engine: EngineSlim, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := 0
+	f := newFitter(sa.eng, 2, func(modelX []float64) (lik.Model, error) {
+		builds++
+		return sitemodel.NewM0(codon.Universal, trKappa.External(modelX[0]), trKappa.External(modelX[1]), sa.pi)
+	}, optimize.Options{FDStep: 1e-7})
+
+	nb := len(sa.eng.BranchIDs())
+	x := make([]float64, 2+nb)
+	x[0] = trKappa.Internal(2)
+	x[1] = trKappa.Internal(0.4)
+	for i := 0; i < nb; i++ {
+		x[2+i] = trBranch.Internal(0.1)
+	}
+	f.objective(x)
+	if builds != 1 {
+		t.Fatalf("first eval: %d builds", builds)
+	}
+	// Branch-only change: no rebuild.
+	x[2] = trBranch.Internal(0.2)
+	f.objective(x)
+	if builds != 1 {
+		t.Fatalf("branch-only probe rebuilt the model (%d builds)", builds)
+	}
+	// Model-parameter change: rebuild.
+	x[0] = trKappa.Internal(2.5)
+	f.objective(x)
+	if builds != 2 {
+		t.Fatalf("model change did not rebuild (%d builds)", builds)
+	}
+	// Same point again: cached.
+	f.objective(x)
+	if builds != 2 {
+		t.Fatalf("identical point rebuilt (%d builds)", builds)
+	}
+}
+
+// The fitter's gradient (path updates for branches) must match a plain
+// finite-difference gradient computed through the objective alone.
+func TestFitterGradientMatchesPlainFiniteDifferences(t *testing.T) {
+	a, tr := smallDataset(t, 71, 12)
+	sa, err := NewSiteAnalysis(a, tr, Options{Engine: EngineSlim, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := optimize.Options{FDStep: 1e-6, Gradient: optimize.GradCentral}
+	f := newFitter(sa.eng, 2, func(modelX []float64) (lik.Model, error) {
+		return sitemodel.NewM0(codon.Universal, trKappa.External(modelX[0]), trKappa.External(modelX[1]), sa.pi)
+	}, opts)
+
+	nb := len(sa.eng.BranchIDs())
+	x := make([]float64, 2+nb)
+	x[0] = trKappa.Internal(1.8)
+	x[1] = trKappa.Internal(0.5)
+	for i := 0; i < nb; i++ {
+		x[2+i] = trBranch.Internal(0.05 + 0.02*float64(i))
+	}
+
+	g := make([]float64, len(x))
+	f.gradient(x, g)
+
+	// Reference: central differences on the objective for every
+	// coordinate.
+	want := make([]float64, len(x))
+	for i := range x {
+		h := opts.FDStep * (1 + math.Abs(x[i]))
+		old := x[i]
+		x[i] = old + h
+		fp := f.objective(x)
+		x[i] = old - h
+		fm := f.objective(x)
+		x[i] = old
+		want[i] = (fp - fm) / (2 * h)
+	}
+	for i := range g {
+		if math.Abs(g[i]-want[i]) > 1e-5*(1+math.Abs(want[i])) {
+			t.Fatalf("gradient[%d] = %g, plain FD %g", i, g[i], want[i])
+		}
+	}
+}

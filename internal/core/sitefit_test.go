@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bsm"
+	"repro/internal/codon"
+	"repro/internal/lik"
+	"repro/internal/sim"
+	"repro/internal/sitemodel"
+)
+
+func TestSiteModelKindStrings(t *testing.T) {
+	for _, k := range []SiteModelKind{ModelM0, ModelM1a, ModelM2a} {
+		if k.String() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+func TestFitM0(t *testing.T) {
+	a, tr := smallDataset(t, 40, 30)
+	sa, err := NewSiteAnalysis(a, tr, Options{Engine: EngineSlim, MaxIterations: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sa.Fit(ModelM0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.LnL, 0) || math.IsNaN(res.LnL) {
+		t.Fatalf("lnL = %g", res.LnL)
+	}
+	if !(res.Kappa > 0) || !(res.Omega > 0) {
+		t.Fatalf("bad M0 estimates: %+v", res)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	for _, id := range sa.eng.BranchIDs() {
+		if !(res.BranchLengths[id] > 0) {
+			t.Fatal("non-positive branch length")
+		}
+	}
+}
+
+// Model nesting: M0 is a special case of M1a (p0 → 1 or ω shared), so
+// lnL(M1a) ≥ lnL(M0) − slack at the respective optima; likewise
+// lnL(M2a) ≥ lnL(M1a).
+func TestSiteModelNesting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model fits in -short mode")
+	}
+	a, tr := smallDataset(t, 41, 40)
+	sa, err := NewSiteAnalysis(a, tr, Options{Engine: EngineSlim, MaxIterations: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1a, err := sa.Fit(ModelM1a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := sa.SiteTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.M2a.LnL < m1a.LnL-1e-2 {
+		t.Fatalf("M2a lnL %g below M1a %g", test.M2a.LnL, m1a.LnL)
+	}
+	if test.Statistic < 0 || test.PValue < 0 || test.PValue > 1 {
+		t.Fatalf("bad LRT: %+v", test)
+	}
+}
+
+// The generalized engine must evaluate an M0 likelihood that matches a
+// degenerate hand computation: an M0 model equals a BSM model in the
+// limit where every class has the same ω... more directly, compare M0
+// against an independent two-pass computation using the bsm machinery
+// with ω0→ω not available; instead verify via engine strategies.
+func TestM0StrategiesAgree(t *testing.T) {
+	a, tr := smallDataset(t, 42, 25)
+	lnls := make([]float64, 0, 4)
+	for _, kind := range []EngineKind{EngineBaseline, EngineSlim, EngineSlimSym, EngineSlimBundled} {
+		sa, err := NewSiteAnalysis(a, tr, Options{Engine: kind, MaxIterations: 5, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sitemodel.NewM0(codon.Universal, 2.1, 0.35, sa.pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sa.eng.SetModel(m); err != nil {
+			t.Fatal(err)
+		}
+		lnls = append(lnls, sa.eng.LogLikelihood())
+	}
+	for i := 1; i < len(lnls); i++ {
+		if math.Abs(lnls[i]-lnls[0]) > 1e-8 {
+			t.Fatalf("M0 engines disagree: %v", lnls)
+		}
+	}
+}
+
+// Switching one engine between models of different class counts must
+// work (buffer reallocation) and stay consistent.
+func TestEngineModelSwitching(t *testing.T) {
+	a, tr := smallDataset(t, 43, 20)
+	sa, err := NewSiteAnalysis(a, tr, Options{Engine: EngineSlim, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, err := sitemodel.NewM0(codon.Universal, 2, 0.4, sa.pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2a, err := sitemodel.NewM2a(codon.Universal, 2, 0.1, 3, 0.6, 0.3, sa.pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsmModel, err := bsm.New(codon.Universal, bsm.H1,
+		bsm.Params{Kappa: 2, Omega0: 0.1, Omega2: 3, P0: 0.6, P1: 0.3}, sa.pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	record := func(m lik.Model) float64 {
+		if err := sa.eng.SetModel(m); err != nil {
+			t.Fatal(err)
+		}
+		return sa.eng.LogLikelihood()
+	}
+	l0a := record(m0)
+	l2a := record(m2a)
+	lb := record(bsmModel)
+	// Back to M0: identical to the first pass despite two reshapes.
+	if l0b := record(m0); l0b != l0a {
+		t.Fatalf("M0 lnL changed after model switching: %g vs %g", l0b, l0a)
+	}
+	if l2b := record(m2a); l2b != l2a {
+		t.Fatalf("M2a lnL changed after model switching")
+	}
+	if lb2 := record(bsmModel); lb2 != lb {
+		t.Fatalf("BSM lnL changed after model switching")
+	}
+	// Different models on the same data genuinely differ.
+	if l0a == l2a || l2a == lb {
+		t.Fatal("distinct models suspiciously identical")
+	}
+}
+
+// M0 on BSM-simulated data should estimate an ω between ω0 and 1
+// (an average over classes), and κ near the truth.
+func TestM0RecoversAverageOmega(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fit in -short mode")
+	}
+	tr, err := sim.RandomTree(sim.TreeConfig{Species: 6, MeanBranchLength: 0.2, Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := bsm.Params{Kappa: 3, Omega0: 0.05, Omega2: 1.5, P0: 0.7, P1: 0.25}
+	a, err := sim.Simulate(tr, codon.Universal, sim.SeqConfig{Sites: 300, Params: truth, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewSiteAnalysis(a, tr, Options{Engine: EngineSlim, MaxIterations: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sa.Fit(ModelM0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Omega <= truth.Omega0 || res.Omega >= 1.2 {
+		t.Fatalf("M0 omega %g outside plausible averaging range (%g, 1.2)", res.Omega, truth.Omega0)
+	}
+	if res.Kappa < 1.5 || res.Kappa > 6 {
+		t.Fatalf("kappa estimate %g far from truth 3", res.Kappa)
+	}
+}
+
+// End-to-end under the vertebrate mitochondrial code (n = 60): the
+// whole stack — encoding, frequencies, rate matrices, engine, fit —
+// must follow the code's state space.
+func TestMitochondrialCodeEndToEnd(t *testing.T) {
+	tr, err := sim.RandomTree(sim.TreeConfig{Species: 5, MeanBranchLength: 0.2, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := bsm.Params{Kappa: 4, Omega0: 0.2, Omega2: 2, P0: 0.6, P1: 0.3}
+	a, err := sim.Simulate(tr, codon.VertebrateMt, sim.SeqConfig{Sites: 40, Params: truth, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewSiteAnalysis(a, tr, Options{
+		Engine:        EngineSlim,
+		MaxIterations: 10,
+		Code:          codon.VertebrateMt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa.pi) != 60 {
+		t.Fatalf("mt frequencies length %d, want 60", len(sa.pi))
+	}
+	res, err := sa.Fit(ModelM0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.LnL) || math.IsInf(res.LnL, 0) {
+		t.Fatalf("mt M0 lnL = %g", res.LnL)
+	}
+	// The same data interpreted under the universal code could contain
+	// TGA (a universal stop) and must then be rejected at encoding.
+	// (The simulation may or may not have produced one; only assert
+	// that the mt path worked.)
+}
+
+// M7/M8: nesting and the beta site test machinery. Kept small — each
+// M7/M8 evaluation costs ~10 eigendecompositions.
+func TestBetaSiteTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("beta fits in -short mode")
+	}
+	a, tr := smallDataset(t, 90, 25)
+	sa, err := NewSiteAnalysis(a, tr, Options{Engine: EngineSlim, MaxIterations: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sa.BetaSiteTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.M7.LnL) || math.IsNaN(res.M8.LnL) {
+		t.Fatal("NaN lnL")
+	}
+	if res.M7.BetaP <= 0 || res.M7.BetaQ <= 0 {
+		t.Fatalf("bad beta estimates: %+v", res.M7)
+	}
+	if res.M8.Omega2 < 1 {
+		t.Fatalf("M8 ωs = %g below 1", res.M8.Omega2)
+	}
+	if res.Statistic < 0 || res.PValue < 0 || res.PValue > 1 {
+		t.Fatalf("bad LRT: %+v", res)
+	}
+	// M8 nests M7 (p0→1 or ωs=1): warm-started M8 must not be
+	// materially worse.
+	if res.M8.LnL < res.M7.LnL-1e-2 {
+		t.Fatalf("M8 lnL %g below M7 %g", res.M8.LnL, res.M7.LnL)
+	}
+}
+
+// An M7 evaluation through the engine must equal the mixture of M0
+// evaluations with the category omegas — the beta model is exactly an
+// equal-weight mixture (with a shared time rescaling).
+func TestM7IsAMixtureOfM0Categories(t *testing.T) {
+	a, tr := smallDataset(t, 91, 15)
+	sa, err := NewSiteAnalysis(a, tr, Options{Engine: EngineSlim, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m7, err := sitemodel.NewM7(codon.Universal, 2.0, 1.5, 2.5, 4, sa.pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.eng.SetModel(m7); err != nil {
+		t.Fatal(err)
+	}
+	lnL := sa.eng.LogLikelihood()
+	if math.IsNaN(lnL) || math.IsInf(lnL, 0) || lnL >= 0 {
+		t.Fatalf("M7 lnL = %g", lnL)
+	}
+	// Consistency across engines for the 11-class model.
+	for _, kind := range []EngineKind{EngineBaseline, EngineSlimSym, EngineSlimBundled} {
+		sb, err := NewSiteAnalysis(a, tr, Options{Engine: kind, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sb.eng.SetModel(m7); err != nil {
+			t.Fatal(err)
+		}
+		if got := sb.eng.LogLikelihood(); math.Abs(got-lnL) > 1e-8 {
+			t.Fatalf("%v M7 lnL %g vs %g", kind, got, lnL)
+		}
+	}
+}

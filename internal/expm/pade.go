@@ -1,0 +1,176 @@
+package expm
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+)
+
+// PadeExpm computes e^{Qt} directly by scaling-and-squaring with a
+// diagonal Padé approximant (Higham 2005's [6/6] variant) — a direct
+// evaluation of the series in the paper's Eq. 3 that makes no use of
+// reversibility or symmetry.
+//
+// It is O(n³) per call with a much larger constant than the
+// eigendecomposition route and gains nothing from branch-length reuse,
+// so the likelihood engine never uses it; it exists as an independent
+// numerical oracle for tests (the two routes share no code beyond
+// Dgemm) and as the fallback a non-reversible model extension would
+// need.
+func PadeExpm(q *mat.Matrix, t float64) *mat.Matrix {
+	n := q.Rows
+	if q.Cols != n {
+		panic("expm: PadeExpm requires a square matrix")
+	}
+	// A = Q·t, scaled so ‖A/2^s‖∞ ≤ 0.5.
+	a := q.Clone()
+	for i := range a.Data {
+		a.Data[i] *= t
+	}
+	norm := infNorm(a)
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+		scale := math.Ldexp(1, -s) // 2^{-s}
+		for i := range a.Data {
+			a.Data[i] *= scale
+		}
+	}
+
+	// [6/6] Padé: N(A)·D(A)^{-1} with
+	// N = Σ c_k A^k, D = Σ (−1)^k c_k A^k,
+	// c_k = (2m−k)! m! / ((2m)! k! (m−k)!), m = 6.
+	const m = 6
+	c := make([]float64, m+1)
+	c[0] = 1
+	for k := 1; k <= m; k++ {
+		c[k] = c[k-1] * float64(m-k+1) / (float64(k) * float64(2*m-k+1))
+	}
+
+	// Powers of A via repeated multiplication.
+	pow := a.Clone() // A^1
+	nMat := mat.Identity(n)
+	dMat := mat.Identity(n)
+	addScaled(nMat, pow, c[1])
+	addScaled(dMat, pow, -c[1])
+	tmp := mat.New(n, n)
+	sign := 1.0
+	for k := 2; k <= m; k++ {
+		blas.Dgemm(false, false, 1, pow, a, 0, tmp)
+		pow, tmp = tmp, pow
+		addScaled(nMat, pow, c[k])
+		if k%2 == 0 {
+			sign = 1
+		} else {
+			sign = -1
+		}
+		addScaled(dMat, pow, sign*c[k])
+	}
+
+	// R = D^{-1}·N via LU solve with partial pivoting.
+	r := luSolveMatrix(dMat, nMat)
+
+	// Undo the scaling by repeated squaring.
+	for i := 0; i < s; i++ {
+		blas.Dgemm(false, false, 1, r, r, 0, tmp)
+		r, tmp = tmp, r
+	}
+	return r.Clone()
+}
+
+func addScaled(dst, src *mat.Matrix, f float64) {
+	for i := range dst.Data {
+		dst.Data[i] += f * src.Data[i]
+	}
+}
+
+// infNorm returns the maximum absolute row sum.
+func infNorm(m *mat.Matrix) float64 {
+	worst := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			s += math.Abs(v)
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// luSolveMatrix solves A·X = B for X with an LU factorization of A
+// (partial pivoting), overwriting nothing.
+func luSolveMatrix(a, b *mat.Matrix) *mat.Matrix {
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	// Doolittle LU with partial pivoting.
+	for k := 0; k < n; k++ {
+		// Pivot search.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			panic("expm: singular Padé denominator")
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) * inv
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	// Solve for each column of B.
+	x := mat.New(n, b.Cols)
+	y := make([]float64, n)
+	for col := 0; col < b.Cols; col++ {
+		// Apply the row permutation.
+		for i := 0; i < n; i++ {
+			y[i] = b.At(piv[i], col)
+		}
+		// Forward substitution (unit lower).
+		for i := 1; i < n; i++ {
+			s := y[i]
+			ri := lu.Row(i)
+			for j := 0; j < i; j++ {
+				s -= ri[j] * y[j]
+			}
+			y[i] = s
+		}
+		// Back substitution.
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			ri := lu.Row(i)
+			for j := i + 1; j < n; j++ {
+				s -= ri[j] * y[j]
+			}
+			y[i] = s / ri[i]
+		}
+		for i := 0; i < n; i++ {
+			x.Set(i, col, y[i])
+		}
+	}
+	return x
+}

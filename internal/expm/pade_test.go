@@ -1,0 +1,136 @@
+package expm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+)
+
+func TestPadeExpmIdentityAtZero(t *testing.T) {
+	r := testRate(t, 2, 0.5, 60)
+	p := PadeExpm(r.Q, 0)
+	if !p.EqualApprox(mat.Identity(p.Rows), 1e-14) {
+		t.Fatal("e^{0} != I")
+	}
+}
+
+func TestPadeExpmKnown2x2(t *testing.T) {
+	// Two-state generator with rates a, b: closed-form exponential
+	// P(t) = [[ (b+a e^{-(a+b)t})/(a+b), a(1-e^{-(a+b)t})/(a+b)], ...].
+	a, b := 0.7, 0.3
+	q := mat.NewFromSlice(2, 2, []float64{-a, a, b, -b})
+	for _, tt := range []float64{0.1, 1, 5} {
+		p := PadeExpm(q, tt)
+		e := math.Exp(-(a + b) * tt)
+		want := mat.NewFromSlice(2, 2, []float64{
+			(b + a*e) / (a + b), a * (1 - e) / (a + b),
+			b * (1 - e) / (a + b), (a + b*e) / (a + b),
+		})
+		if !p.EqualApprox(want, 1e-12) {
+			t.Fatalf("t=%g: got %v want %v", tt, p, want)
+		}
+	}
+}
+
+// The central cross-validation: the paper's eigendecomposition route
+// (both Eq. 9 and Eq. 10 variants) must agree with the independent
+// Padé scaling-and-squaring evaluation of Eq. 3 on real codon
+// matrices.
+func TestPadeMatchesEigendecomposition(t *testing.T) {
+	for _, seed := range []int64{61, 62} {
+		r := testRate(t, 2.2, 0.8, seed)
+		d := decompose(t, r)
+		ws := d.NewWorkspace()
+		n := d.N()
+		pEig := mat.New(n, n)
+		for _, tt := range []float64{0.01, 0.3, 1.5, 6} {
+			d.PMatrix(tt, MethodSYRK, pEig, ws)
+			pPade := PadeExpm(r.Q, tt)
+			if !pEig.EqualApprox(pPade, 1e-10) {
+				t.Fatalf("seed %d t=%g: eigen and Padé disagree", seed, tt)
+			}
+		}
+	}
+}
+
+// Padé must also handle matrices with no reversibility structure,
+// where the eigendecomposition route does not apply.
+func TestPadeNonreversibleGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	n := 12
+	q := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := rng.Float64()
+			q.Set(i, j, v)
+			sum += v
+		}
+		q.Set(i, i, -sum)
+	}
+	p := PadeExpm(q, 0.8)
+	// Stochastic matrix: rows sum to one, entries non-negative.
+	for i := 0; i < n; i++ {
+		if math.Abs(mat.VecSum(p.Row(i))-1) > 1e-10 {
+			t.Fatalf("row %d sums to %g", i, mat.VecSum(p.Row(i)))
+		}
+		for _, v := range p.Row(i) {
+			if v < -1e-12 {
+				t.Fatalf("negative transition probability %g", v)
+			}
+		}
+	}
+	// Chapman–Kolmogorov through Padé alone.
+	p2 := PadeExpm(q, 1.6)
+	sq := mat.New(n, n)
+	blas.Dgemm(false, false, 1, p, p, 0, sq)
+	if !sq.EqualApprox(p2, 1e-9) {
+		t.Fatal("Padé violates Chapman–Kolmogorov")
+	}
+}
+
+func TestPadeLargeTime(t *testing.T) {
+	// Large t exercises many squarings; rows must still sum to one.
+	r := testRate(t, 2, 0.5, 64)
+	p := PadeExpm(r.Q, 80)
+	for i := 0; i < p.Rows; i++ {
+		if math.Abs(mat.VecSum(p.Row(i))-1) > 1e-8 {
+			t.Fatalf("row %d sums to %g at large t", i, mat.VecSum(p.Row(i)))
+		}
+	}
+}
+
+func TestLuSolveMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	n := 9
+	a := mat.New(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n)) // well conditioned
+	}
+	b := mat.New(n, 4)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	x := luSolveMatrix(a, b)
+	ax := mat.New(n, 4)
+	blas.Dgemm(false, false, 1, a, x, 0, ax)
+	if !ax.EqualApprox(b, 1e-10) {
+		t.Fatal("LU solve failed")
+	}
+}
+
+func TestInfNorm(t *testing.T) {
+	m := mat.NewFromSlice(2, 2, []float64{1, -2, 3, 4})
+	if infNorm(m) != 7 {
+		t.Fatalf("infNorm = %g, want 7", infNorm(m))
+	}
+}

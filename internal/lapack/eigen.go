@@ -1,0 +1,264 @@
+// Package lapack implements the dense symmetric eigensolver that the
+// SlimCodeML transition-probability computation requires (the paper
+// calls LAPACK dsyevr for this step).
+//
+// The driver Dsyev follows the classical two-phase scheme:
+//
+//  1. Tred2 — reduction of the symmetric matrix to tridiagonal form by
+//     Householder reflections, accumulating the orthogonal transform
+//     (the dsytrd step of the paper's §III-A step 2);
+//  2. Tql2 — the implicit-shift QL iteration on the tridiagonal
+//     matrix, applying the rotations to the accumulated transform so
+//     the eigenvectors of the original matrix fall out (the QL/QR
+//     branch of dsyevr; MRRR is an internal LAPACK alternative with
+//     the same contract).
+//
+// A cyclic Jacobi solver is also provided; it is slower but has
+// independently-verifiable convergence behaviour and is used by the
+// tests to cross-validate the QL path.
+package lapack
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// ErrNoConvergence is returned when the QL or Jacobi iteration fails
+// to converge within its iteration budget. For the well-conditioned
+// symmetric matrices arising from reversible codon models this never
+// happens in practice.
+var ErrNoConvergence = errors.New("lapack: eigenvalue iteration did not converge")
+
+// Eigen holds a symmetric eigendecomposition A = X·diag(Values)·Xᵀ.
+// Column j of Vectors is the eigenvector for Values[j]; Values are in
+// ascending order and Vectors is orthonormal.
+type Eigen struct {
+	Values  []float64
+	Vectors *mat.Matrix
+}
+
+// Dsyev computes the full eigendecomposition of the symmetric matrix
+// a. Only the values of a are read (a is not modified); symmetry is
+// assumed and not checked — use mat.Matrix.IsSymmetric beforehand if
+// the input is suspect.
+func Dsyev(a *mat.Matrix) (*Eigen, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("lapack: Dsyev requires a square matrix")
+	}
+	z := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	Tred2(z, d, e)
+	if err := Tql2(d, e, z); err != nil {
+		return nil, err
+	}
+	sortEigen(d, z)
+	return &Eigen{Values: d, Vectors: z}, nil
+}
+
+// Tred2 reduces the symmetric matrix held in z to tridiagonal form
+// using Householder reflections. On return d holds the diagonal,
+// e[1..n-1] the sub-diagonal (e[0] is zero), and z is overwritten with
+// the accumulated orthogonal matrix Q such that A = Q·T·Qᵀ.
+//
+// This is the EISPACK tred2 algorithm, the ancestor of LAPACK dsytrd
+// with explicit accumulation (dorgtr).
+func Tred2(z *mat.Matrix, d, e []float64) {
+	n := z.Rows
+	if z.Cols != n || len(d) != n || len(e) != n {
+		panic("lapack: Tred2 dimension mismatch")
+	}
+	if n == 0 {
+		return
+	}
+
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					v := z.At(i, k) / scale
+					z.Set(i, k, v)
+					h += v * v
+				}
+				f := z.At(i, l)
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				z.Set(i, l, f-g)
+				f = 0
+				for j := 0; j <= l; j++ {
+					z.Set(j, i, z.At(i, j)/h)
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * z.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * z.At(i, k)
+					}
+					e[j] = g / h
+					f += e[j] * z.At(i, j)
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = z.At(i, j)
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						z.Set(j, k, z.At(j, k)-(f*e[k]+g*z.At(i, k)))
+					}
+				}
+			}
+		} else {
+			e[i] = z.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+
+	// Accumulate the transformations.
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += z.At(i, k) * z.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					z.Set(k, j, z.At(k, j)-g*z.At(k, i))
+				}
+			}
+		}
+		d[i] = z.At(i, i)
+		z.Set(i, i, 1)
+		for j := 0; j <= l; j++ {
+			z.Set(j, i, 0)
+			z.Set(i, j, 0)
+		}
+	}
+}
+
+// Tql2 diagonalizes the symmetric tridiagonal matrix given by diagonal
+// d and sub-diagonal e (e[0] unused) using the implicit-shift QL
+// algorithm, accumulating the rotations into z. On return d holds the
+// eigenvalues (unsorted) and the columns of z the eigenvectors.
+//
+// This is the EISPACK tql2 algorithm, equivalent to LAPACK dsteqr with
+// compz='V'.
+func Tql2(d, e []float64, z *mat.Matrix) error {
+	n := len(d)
+	if len(e) != n || z.Rows != n || z.Cols != n {
+		panic("lapack: Tql2 dimension mismatch")
+	}
+	if n == 0 {
+		return nil
+	}
+	const maxIter = 50
+
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			// Find a small sub-diagonal element to split the matrix.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= machEps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > maxIter {
+				return ErrNoConvergence
+			}
+			// Wilkinson-style shift from the 2×2 at the top.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					// Recover from underflow by deflating.
+					d[i+1] -= p
+					e[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				// Apply the rotation to the eigenvector columns.
+				for k := 0; k < n; k++ {
+					f = z.At(k, i+1)
+					z.Set(k, i+1, s*z.At(k, i)+c*f)
+					z.Set(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if underflow {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// machEps is the double-precision unit roundoff used for the QL
+// convergence test.
+const machEps = 2.220446049250313e-16
+
+// sortEigen sorts eigenvalues ascending and permutes the eigenvector
+// columns of z to match.
+func sortEigen(d []float64, z *mat.Matrix) {
+	n := len(d)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return d[idx[a]] < d[idx[b]] })
+
+	sorted := make([]float64, n)
+	perm := mat.New(n, n)
+	for newCol, oldCol := range idx {
+		sorted[newCol] = d[oldCol]
+		for r := 0; r < n; r++ {
+			perm.Set(r, newCol, z.At(r, oldCol))
+		}
+	}
+	copy(d, sorted)
+	z.CopyFrom(perm)
+}

@@ -1,0 +1,326 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+)
+
+func randSym(rng *rand.Rand, n int) *mat.Matrix {
+	a := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// reconstruct builds X·diag(λ)·Xᵀ.
+func reconstruct(eig *Eigen) *mat.Matrix {
+	n := len(eig.Values)
+	y := eig.Vectors.Clone()
+	y.ScaleCols(eig.Values)
+	out := mat.New(n, n)
+	blas.Dgemm(false, true, 1, y, eig.Vectors, 0, out)
+	return out
+}
+
+func checkDecomposition(t *testing.T, a *mat.Matrix, eig *Eigen, tol float64) {
+	t.Helper()
+	n := a.Rows
+	// Reconstruction: X Λ Xᵀ == A.
+	rec := reconstruct(eig)
+	if !rec.EqualApprox(a, tol) {
+		t.Fatalf("reconstruction error %g exceeds %g",
+			maxDiff(rec, a), tol)
+	}
+	// Orthonormality: Xᵀ X == I.
+	xtx := mat.New(n, n)
+	blas.Dgemm(true, false, 1, eig.Vectors, eig.Vectors, 0, xtx)
+	if !xtx.EqualApprox(mat.Identity(n), tol) {
+		t.Fatalf("eigenvectors not orthonormal (err %g)", maxDiff(xtx, mat.Identity(n)))
+	}
+	// Ascending order.
+	for i := 1; i < n; i++ {
+		if eig.Values[i] < eig.Values[i-1] {
+			t.Fatalf("eigenvalues not sorted: %v", eig.Values)
+		}
+	}
+}
+
+func maxDiff(a, b *mat.Matrix) float64 {
+	d := 0.0
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if v := math.Abs(a.At(i, j) - b.At(i, j)); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+func TestDsyevKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := mat.NewFromSlice(2, 2, []float64{2, 1, 1, 2})
+	eig, err := Dsyev(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig.Values[0]-1) > 1e-12 || math.Abs(eig.Values[1]-3) > 1e-12 {
+		t.Fatalf("eigenvalues %v, want [1 3]", eig.Values)
+	}
+	checkDecomposition(t, a, eig, 1e-12)
+}
+
+func TestDsyevDiagonal(t *testing.T) {
+	a := mat.Diag([]float64{5, -2, 7, 0})
+	eig, err := Dsyev(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-2, 0, 5, 7}
+	for i, w := range want {
+		if math.Abs(eig.Values[i]-w) > 1e-13 {
+			t.Fatalf("eigenvalues %v, want %v", eig.Values, want)
+		}
+	}
+	checkDecomposition(t, a, eig, 1e-13)
+}
+
+func TestDsyevIdentity(t *testing.T) {
+	a := mat.Identity(6)
+	eig, err := Dsyev(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range eig.Values {
+		if math.Abs(v-1) > 1e-14 {
+			t.Fatalf("identity eigenvalues %v", eig.Values)
+		}
+	}
+	checkDecomposition(t, a, eig, 1e-13)
+}
+
+func TestDsyevDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randSym(rng, 8)
+	saved := a.Clone()
+	if _, err := Dsyev(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualApprox(saved, 0) {
+		t.Fatal("Dsyev modified its input")
+	}
+}
+
+func TestDsyevEmptyAndOne(t *testing.T) {
+	eig, err := Dsyev(mat.New(0, 0))
+	if err != nil || len(eig.Values) != 0 {
+		t.Fatal("0×0 should succeed trivially")
+	}
+	eig, err = Dsyev(mat.NewFromSlice(1, 1, []float64{-4.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eig.Values[0] != -4.5 || math.Abs(math.Abs(eig.Vectors.At(0, 0))-1) > 1e-15 {
+		t.Fatalf("1×1 decomposition wrong: %v %v", eig.Values, eig.Vectors)
+	}
+}
+
+func TestDsyevRandomSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 5, 10, 20, 61} {
+		a := randSym(rng, n)
+		eig, err := Dsyev(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkDecomposition(t, a, eig, 1e-9*float64(n))
+	}
+}
+
+// Repeated eigenvalues (degenerate spectrum) must still give an
+// orthonormal basis and exact reconstruction.
+func TestDsyevDegenerateSpectrum(t *testing.T) {
+	// Projection-like matrix with eigenvalues {0,0,3,3}.
+	rng := rand.New(rand.NewSource(12))
+	q := randSym(rng, 4)
+	eigQ, err := Dsyev(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := eigQ.Vectors
+	d := []float64{0, 0, 3, 3}
+	y := x.Clone()
+	y.ScaleCols(d)
+	a := mat.New(4, 4)
+	blas.Dgemm(false, true, 1, y, x, 0, a)
+	a.Symmetrize()
+
+	eig, err := Dsyev(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecomposition(t, a, eig, 1e-10)
+	for i, w := range d {
+		if math.Abs(eig.Values[i]-w) > 1e-10 {
+			t.Fatalf("degenerate eigenvalues %v, want %v", eig.Values, d)
+		}
+	}
+}
+
+// Trace and Frobenius norm are spectral invariants.
+func TestDsyevSpectralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randSym(rng, n)
+		eig, err := Dsyev(a)
+		if err != nil {
+			return false
+		}
+		trace, sumLam := 0.0, 0.0
+		frob2, sumLam2 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sumLam += eig.Values[i]
+			sumLam2 += eig.Values[i] * eig.Values[i]
+			for j := 0; j < n; j++ {
+				frob2 += a.At(i, j) * a.At(i, j)
+			}
+		}
+		return math.Abs(trace-sumLam) < 1e-9 && math.Abs(frob2-sumLam2) < 1e-7*(1+frob2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTred2TridiagonalizesCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 9
+	a := randSym(rng, n)
+	z := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	Tred2(z, d, e)
+
+	// Rebuild T from d, e and check Q·T·Qᵀ == A.
+	tm := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		tm.Set(i, i, d[i])
+		if i > 0 {
+			tm.Set(i, i-1, e[i])
+			tm.Set(i-1, i, e[i])
+		}
+	}
+	qt := mat.New(n, n)
+	blas.Dgemm(false, false, 1, z, tm, 0, qt)
+	qtqt := mat.New(n, n)
+	blas.Dgemm(false, true, 1, qt, z, 0, qtqt)
+	if !qtqt.EqualApprox(a, 1e-10) {
+		t.Fatalf("Q·T·Qᵀ != A (err %g)", maxDiff(qtqt, a))
+	}
+}
+
+func TestJacobiMatchesDsyev(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		a := randSym(rng, n)
+		e1, err := Dsyev(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := Jacobi(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(e1.Values[i]-e2.Values[i]) > 1e-9*(1+math.Abs(e1.Values[i])) {
+				t.Fatalf("n=%d eigenvalue %d: QL %g vs Jacobi %g",
+					n, i, e1.Values[i], e2.Values[i])
+			}
+		}
+		checkDecomposition(t, a, e2, 1e-9*float64(n))
+	}
+}
+
+func TestJacobiDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randSym(rng, 6)
+	saved := a.Clone()
+	if _, err := Jacobi(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualApprox(saved, 0) {
+		t.Fatal("Jacobi modified its input")
+	}
+}
+
+// The matrices SlimCodeML decomposes are similarity-symmetrized rate
+// matrices; they have one zero eigenvalue (the stationary direction)
+// and the rest negative. Build a small reversible generator the same
+// way and check that structure survives the solver.
+func TestDsyevReversibleGeneratorStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	n := 12
+	// Random symmetric exchangeabilities, random stationary dist.
+	s := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64() + 0.1
+			s.Set(i, j, v)
+			s.Set(j, i, v)
+		}
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = rng.Float64() + 0.05
+	}
+	mat.Normalize(pi)
+	// Q = S·Π with rows summing to zero; A = Π^{1/2} S Π^{1/2} with the
+	// matching diagonal.
+	sqrtPi := make([]float64, n)
+	for i, p := range pi {
+		sqrtPi[i] = math.Sqrt(p)
+	}
+	a := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				rowSum += s.At(i, j) * pi[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				a.Set(i, i, -rowSum)
+			} else {
+				a.Set(i, j, sqrtPi[i]*s.At(i, j)*sqrtPi[j])
+			}
+		}
+	}
+	a.Symmetrize()
+	eig, err := Dsyev(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := eig.Values[n-1]
+	if math.Abs(last) > 1e-10 {
+		t.Fatalf("largest eigenvalue should be ~0, got %g", last)
+	}
+	for _, v := range eig.Values[:n-1] {
+		if v > 1e-10 {
+			t.Fatalf("found positive eigenvalue %g in generator spectrum", v)
+		}
+	}
+	checkDecomposition(t, a, eig, 1e-10)
+}

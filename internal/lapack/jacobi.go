@@ -1,0 +1,95 @@
+package lapack
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Jacobi computes the eigendecomposition of the symmetric matrix a by
+// the cyclic Jacobi method: repeated sweeps of plane rotations that
+// annihilate off-diagonal elements until the off-diagonal Frobenius
+// norm vanishes. It is O(n³) per sweep and needs several sweeps, so it
+// is slower than Dsyev, but its correctness argument is independent of
+// the Householder/QL machinery — the tests use it as an oracle.
+//
+// The input is not modified. Eigenvalues are returned in ascending
+// order with matching eigenvector columns.
+func Jacobi(a *mat.Matrix) (*Eigen, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("lapack: Jacobi requires a square matrix")
+	}
+	w := a.Clone()
+	v := mat.Identity(n)
+	const maxSweeps = 64
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= machEps*w.FrobeniusNorm()*float64(n) || off == 0 {
+			d := make([]float64, n)
+			for i := 0; i < n; i++ {
+				d[i] = w.At(i, i)
+			}
+			sortEigen(d, v)
+			return &Eigen{Values: d, Vectors: v}, nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Stable rotation angle computation (Golub & Van Loan
+				// §8.5): tan(2θ) = 2a_pq / (a_qq - a_pp).
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Hypot(1, tau))
+				} else {
+					t = -1 / (-tau + math.Hypot(1, tau))
+				}
+				c := 1 / math.Hypot(1, t)
+				s := t * c
+				applyJacobiRotation(w, v, p, q, c, s)
+			}
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// applyJacobiRotation applies the rotation J(p,q,θ) from both sides of
+// w (w ← JᵀwJ) and accumulates it into v (v ← vJ).
+func applyJacobiRotation(w, v *mat.Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// offDiagNorm returns the Frobenius norm of the off-diagonal part.
+func offDiagNorm(m *mat.Matrix) float64 {
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				v := m.At(i, j)
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}

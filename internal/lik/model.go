@@ -1,0 +1,42 @@
+package lik
+
+import "repro/internal/codon"
+
+// Model is the contract between a codon substitution model and the
+// likelihood engine. The branch-site model A of the paper
+// (internal/bsm) is one implementation; the engine itself only needs
+// to know how many latent site classes exist, their proportions, and
+// which rate matrix each class uses on foreground vs background
+// branches — which is exactly what lets the paper's optimized
+// likelihood computation "also be applied to further maximum
+// likelihood-based evolutionary models" (§V-B): the one-ratio M0 and
+// the site models M1a/M2a in internal/sitemodel reuse the engine
+// unchanged.
+//
+// Rate slots decouple classes from eigendecompositions: several
+// classes (or the same class on different branch types) may share a
+// slot, and several slots may return the same *codon.Rate pointer, in
+// which case the engine eigendecomposes it only once.
+type Model interface {
+	// GeneticCode returns the genetic code (fixes the state count).
+	GeneticCode() *codon.GeneticCode
+	// Frequencies returns the equilibrium codon distribution π.
+	Frequencies() []float64
+	// NumSiteClasses returns the number of latent site classes.
+	NumSiteClasses() int
+	// ClassProportions returns the prior class proportions (length
+	// NumSiteClasses, summing to one).
+	ClassProportions() []float64
+	// NumRateSlots returns how many rate-matrix slots exist.
+	NumRateSlots() int
+	// RateAt returns the rate matrix in a slot. Slots may alias (same
+	// pointer): the engine deduplicates eigendecompositions by
+	// pointer.
+	RateAt(slot int) *codon.Rate
+	// RateSlotFor returns the slot used by a class on a branch with
+	// the given foreground status.
+	RateSlotFor(class int, foreground bool) int
+	// EffectiveTime converts a branch length into the time argument of
+	// the matrix exponential of the (unnormalized) slot matrices.
+	EffectiveTime(branchLength float64) float64
+}

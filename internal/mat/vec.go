@@ -1,0 +1,112 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector utilities. Vectors are plain []float64 throughout the code
+// base; this file collects the small helpers shared by several
+// packages so they are written (and tested) once.
+
+// VecClone returns a copy of v.
+func VecClone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// VecAdd stores a+b in dst. All three must have equal length.
+func VecAdd(dst, a, b []float64) {
+	checkLen3(dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// VecSub stores a-b in dst. All three must have equal length.
+func VecSub(dst, a, b []float64) {
+	checkLen3(dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// VecMul stores the element-wise product a*b in dst.
+func VecMul(dst, a, b []float64) {
+	checkLen3(dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// VecScale multiplies v by s in place.
+func VecScale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// VecSum returns Σ v_i.
+func VecSum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// VecMax returns the maximum element of v; -Inf for an empty vector.
+func VecMax(v []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// VecMaxAbs returns max |v_i|; 0 for an empty vector.
+func VecMaxAbs(v []float64) float64 {
+	max := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// VecEqualApprox reports whether a and b agree element-wise within tol.
+func VecEqualApprox(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize scales v in place so Σ v_i = 1 and returns the original
+// sum. It panics if the sum is not positive.
+func Normalize(v []float64) float64 {
+	s := VecSum(v)
+	if !(s > 0) {
+		panic(fmt.Sprintf("mat: Normalize with non-positive sum %g", s))
+	}
+	inv := 1 / s
+	for i := range v {
+		v[i] *= inv
+	}
+	return s
+}
+
+func checkLen3(a, b, c []float64) {
+	if len(a) != len(b) || len(b) != len(c) {
+		panic(fmt.Sprintf("mat: mismatched vector lengths %d, %d, %d", len(a), len(b), len(c)))
+	}
+}

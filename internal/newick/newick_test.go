@@ -1,0 +1,239 @@
+package newick
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, s string) *Tree {
+	t.Helper()
+	tr, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return tr
+}
+
+func TestParseSimple(t *testing.T) {
+	tr := mustParse(t, "(A:0.1,B:0.2);")
+	if tr.NumLeaves() != 2 {
+		t.Fatalf("leaves = %d", tr.NumLeaves())
+	}
+	if tr.NumBranches() != 2 {
+		t.Fatalf("branches = %d", tr.NumBranches())
+	}
+	a := tr.LeafByName("A")
+	if a == nil || a.Length != 0.1 {
+		t.Fatalf("leaf A wrong: %+v", a)
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	tr := mustParse(t, "((A:0.1,B:0.2):0.05,(C:0.3,D:0.4):0.06,E:0.5);")
+	if tr.NumLeaves() != 5 {
+		t.Fatalf("leaves = %d", tr.NumLeaves())
+	}
+	// Trifurcating root (CodeML unrooted convention).
+	if len(tr.Root.Children) != 3 {
+		t.Fatalf("root degree = %d", len(tr.Root.Children))
+	}
+	// Unrooted (trifurcating-root) tree with s=5 species: 2s−3 = 7
+	// branches, the count the paper's introduction cites.
+	if tr.NumBranches() != 7 {
+		t.Fatalf("branches = %d, want 7", tr.NumBranches())
+	}
+	if math.Abs(tr.TotalLength()-1.61) > 1e-12 {
+		t.Fatalf("total length %g", tr.TotalLength())
+	}
+}
+
+func TestParseForegroundMarkAfterName(t *testing.T) {
+	tr := mustParse(t, "((A:0.1,B:0.2)#1:0.05,C:0.3);")
+	fg := tr.ForegroundBranches()
+	if len(fg) != 1 {
+		t.Fatalf("foreground branches = %d", len(fg))
+	}
+	if fg[0].IsLeaf() || math.Abs(fg[0].Length-0.05) > 1e-12 {
+		t.Fatalf("wrong foreground branch: %+v", fg[0])
+	}
+}
+
+func TestParseForegroundMarkAfterLength(t *testing.T) {
+	tr := mustParse(t, "(A:0.1 #1,B:0.2);")
+	fg := tr.ForegroundBranches()
+	if len(fg) != 1 || fg[0].Name != "A" {
+		t.Fatalf("foreground = %v", fg)
+	}
+}
+
+func TestParseMarkWithoutLength(t *testing.T) {
+	tr := mustParse(t, "((A,B)#1,C);")
+	if len(tr.ForegroundBranches()) != 1 {
+		t.Fatal("mark lost when no branch lengths present")
+	}
+}
+
+func TestParseInternalNames(t *testing.T) {
+	tr := mustParse(t, "((A:1,B:1)AB:1,C:2)root;")
+	if tr.Root.Name != "root" {
+		t.Fatalf("root name %q", tr.Root.Name)
+	}
+	found := false
+	for _, n := range tr.Nodes {
+		if n.Name == "AB" && !n.IsLeaf() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("internal name AB lost")
+	}
+}
+
+func TestParseQuotedNames(t *testing.T) {
+	tr := mustParse(t, "('species one':1,'x (2)':2);")
+	if tr.LeafByName("species one") == nil || tr.LeafByName("x (2)") == nil {
+		t.Fatal("quoted names not parsed")
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	tr := mustParse(t, " ( A : 0.1 ,\n\t( B : 0.2 , C : 0.3 ) : 0.4 ) ; ")
+	if tr.NumLeaves() != 3 {
+		t.Fatalf("leaves = %d", tr.NumLeaves())
+	}
+}
+
+func TestParseScientificNotationLengths(t *testing.T) {
+	tr := mustParse(t, "(A:1e-3,B:2.5E2);")
+	if math.Abs(tr.LeafByName("A").Length-1e-3) > 1e-18 {
+		t.Fatal("scientific notation mishandled")
+	}
+	if math.Abs(tr.LeafByName("B").Length-250) > 1e-12 {
+		t.Fatal("scientific notation mishandled")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(A:0.1,B:0.2",           // unclosed group
+		"(A:0.1,B:0.2)); extra",  // trailing garbage
+		"(A:0.1,:0.2);",          // unnamed leaf
+		"(A:abc,B:1);",           // bad length
+		"(A:-0.5,B:1);",          // negative length
+		"(A#x,B);",               // bad mark
+		"('unterminated:1,B:1);", // unterminated quote
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("expected error for %q", s)
+		}
+	}
+}
+
+func TestPostOrder(t *testing.T) {
+	tr := mustParse(t, "((A:1,B:1)ab:1,(C:1,D:1)cd:1)r;")
+	// In post-order every child appears before its parent and the
+	// root is last.
+	pos := make(map[*Node]int)
+	for i, n := range tr.Nodes {
+		pos[n] = i
+	}
+	for _, n := range tr.Nodes {
+		for _, c := range n.Children {
+			if pos[c] >= pos[n] {
+				t.Fatal("child after parent in post-order")
+			}
+		}
+	}
+	if tr.Nodes[len(tr.Nodes)-1] != tr.Root {
+		t.Fatal("root not last")
+	}
+	// IDs match slice positions.
+	for i, n := range tr.Nodes {
+		if n.ID != i {
+			t.Fatalf("node ID %d at position %d", n.ID, i)
+		}
+	}
+}
+
+func TestLeafIDs(t *testing.T) {
+	tr := mustParse(t, "((A:1,B:1):1,C:1);")
+	for i, l := range tr.Leaves {
+		if l.LeafID != i {
+			t.Fatalf("leaf %q has LeafID %d at position %d", l.Name, l.LeafID, i)
+		}
+	}
+	for _, n := range tr.Nodes {
+		if !n.IsLeaf() && n.LeafID != -1 {
+			t.Fatal("internal node has LeafID")
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	inputs := []string{
+		"(A:0.1,B:0.2);",
+		"((A:0.1,B:0.2)#1:0.05,C:0.3);",
+		"((A:1,B:2)ab:0.5,(C:3,D:4)cd:0.25,E:5);",
+	}
+	for _, s := range inputs {
+		tr := mustParse(t, s)
+		out := tr.String()
+		tr2 := mustParse(t, out)
+		if tr2.String() != out {
+			t.Fatalf("round trip unstable: %q → %q → %q", s, out, tr2.String())
+		}
+		if tr2.NumLeaves() != tr.NumLeaves() || len(tr2.ForegroundBranches()) != len(tr.ForegroundBranches()) {
+			t.Fatalf("round trip lost structure for %q", s)
+		}
+	}
+}
+
+func TestRoundTripQuotedName(t *testing.T) {
+	tr := mustParse(t, "('sp one':1,B:2);")
+	if !strings.Contains(tr.String(), "'sp one'") {
+		t.Fatalf("quoting lost: %s", tr.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := mustParse(t, "((A:1,B:2)#1:0.5,C:3);")
+	cp := tr.Clone()
+	cp.Leaves[0].Length = 99
+	cp.Root.Children[0].Mark = 0
+	if tr.Leaves[0].Length == 99 {
+		t.Fatal("Clone shares nodes")
+	}
+	if len(tr.ForegroundBranches()) != 1 {
+		t.Fatal("Clone corrupted original marks")
+	}
+	if cp.String() == tr.String() {
+		t.Fatal("modification did not affect clone output")
+	}
+}
+
+func TestBranchLengthsRoundTrip(t *testing.T) {
+	tr := mustParse(t, "((A:1,B:2):0.5,C:3);")
+	lens := tr.BranchLengths()
+	for i := range lens {
+		lens[i] *= 2
+	}
+	if err := tr.SetBranchLengths(lens); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.TotalLength()-13) > 1e-12 {
+		t.Fatalf("total after doubling = %g, want 13", tr.TotalLength())
+	}
+	if err := tr.SetBranchLengths(lens[:2]); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	tr := mustParse(t, "(((A:1,B:1):1,C:1):1,D:1);")
+	if tr.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", tr.Depth())
+	}
+}

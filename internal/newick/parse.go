@@ -1,0 +1,219 @@
+package newick
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a tree in Newick format. Supported syntax, matching what
+// CodeML accepts for branch-site analyses:
+//
+//		(name:len, (a:len, b:len)inner:len #1, c:len);
+//
+//	  - node names (leaf or internal), optionally quoted with ';
+//	  - branch lengths after ':';
+//	  - PAML branch marks '#k' after the name or branch length
+//	    (k = 1 flags the foreground branch);
+//	  - arbitrary multifurcations (CodeML's unrooted trees have a
+//	    trifurcating root);
+//	  - whitespace anywhere between tokens.
+func Parse(s string) (*Tree, error) {
+	p := &parser{input: s}
+	root, err := p.parseSubtree()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.input) && p.input[p.pos] == ';' {
+		p.pos++
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("newick: trailing input at offset %d: %q", p.pos, p.rest())
+	}
+	t := &Tree{Root: root}
+	t.Index()
+	if len(t.Nodes) == 1 {
+		return nil, fmt.Errorf("newick: tree has no branches")
+	}
+	return t, nil
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) rest() string {
+	r := p.input[p.pos:]
+	if len(r) > 20 {
+		r = r[:20] + "…"
+	}
+	return r
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.input) {
+		return p.input[p.pos]
+	}
+	return 0
+}
+
+// parseSubtree parses either a leaf or a parenthesized internal node,
+// followed by the optional name, branch length, and mark.
+func (p *parser) parseSubtree() (*Node, error) {
+	p.skipSpace()
+	n := &Node{}
+	if p.peek() == '(' {
+		p.pos++ // consume '('
+		for {
+			child, err := p.parseSubtree()
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+			p.skipSpace()
+			switch p.peek() {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				goto suffix
+			case 0:
+				return nil, fmt.Errorf("newick: unexpected end of input inside group")
+			default:
+				return nil, fmt.Errorf("newick: unexpected %q at offset %d", p.peek(), p.pos)
+			}
+		}
+	}
+suffix:
+	if err := p.parseLabel(n); err != nil {
+		return nil, err
+	}
+	if n.IsLeaf() && n.Name == "" {
+		return nil, fmt.Errorf("newick: unnamed leaf at offset %d (%q)", p.pos, p.rest())
+	}
+	return n, nil
+}
+
+// parseLabel reads [name][#mark][:length][#mark] after a leaf or a
+// closing parenthesis. PAML writes the mark either directly after the
+// name or after the branch length; both are accepted.
+func (p *parser) parseLabel(n *Node) error {
+	p.skipSpace()
+	// Name (quoted or bare).
+	if p.peek() == '\'' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.input) && p.input[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos == len(p.input) {
+			return fmt.Errorf("newick: unterminated quoted name")
+		}
+		n.Name = p.input[start:p.pos]
+		p.pos++
+	} else {
+		start := p.pos
+		for p.pos < len(p.input) && !strings.ContainsRune("():,;#'\t\n\r ", rune(p.input[p.pos])) {
+			p.pos++
+		}
+		n.Name = p.input[start:p.pos]
+	}
+	p.skipSpace()
+	// Mark before length.
+	if p.peek() == '#' {
+		if err := p.parseMark(n); err != nil {
+			return err
+		}
+		p.skipSpace()
+	}
+	// Branch length.
+	if p.peek() == ':' {
+		p.pos++
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.input) && strings.ContainsRune("0123456789+-.eE", rune(p.input[p.pos])) {
+			p.pos++
+		}
+		v, err := strconv.ParseFloat(p.input[start:p.pos], 64)
+		if err != nil {
+			return fmt.Errorf("newick: bad branch length %q at offset %d", p.input[start:p.pos], start)
+		}
+		if v < 0 {
+			return fmt.Errorf("newick: negative branch length %g", v)
+		}
+		n.Length = v
+		p.skipSpace()
+	}
+	// Mark after length.
+	if p.peek() == '#' {
+		if err := p.parseMark(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseMark(n *Node) error {
+	p.pos++ // consume '#'
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+		p.pos++
+	}
+	if start == p.pos {
+		return fmt.Errorf("newick: '#' not followed by a digit at offset %d", start)
+	}
+	m, err := strconv.Atoi(p.input[start:p.pos])
+	if err != nil {
+		return fmt.Errorf("newick: bad mark: %w", err)
+	}
+	n.Mark = m
+	return nil
+}
+
+// String renders the tree in Newick format with branch lengths and
+// marks, inverse to Parse.
+func (t *Tree) String() string {
+	var b strings.Builder
+	writeNode(&b, t.Root, true)
+	b.WriteByte(';')
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, isRoot bool) {
+	if !n.IsLeaf() {
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeNode(b, c, false)
+		}
+		b.WriteByte(')')
+	}
+	if strings.ContainsAny(n.Name, " ():,;#") {
+		fmt.Fprintf(b, "'%s'", n.Name)
+	} else {
+		b.WriteString(n.Name)
+	}
+	if !isRoot {
+		fmt.Fprintf(b, ":%g", n.Length)
+		if n.Mark != 0 {
+			fmt.Fprintf(b, "#%d", n.Mark)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package newick implements the phylogenetic tree substrate: a rooted
+// tree type with post-order traversal (the order Felsenstein's pruning
+// algorithm visits nodes, paper §II-B), and a parser/writer for the
+// Newick format CodeML consumes, including PAML's "#1" branch mark
+// that identifies the foreground branch of the branch-site model
+// (paper Fig. 1).
+package newick
+
+import "fmt"
+
+// Node is one vertex of a rooted phylogenetic tree. The branch fields
+// (Length, Mark) describe the edge from the node to its parent; they
+// are meaningless on the root.
+type Node struct {
+	Name     string
+	Length   float64 // branch length to parent
+	Mark     int     // PAML branch label: 0 background, 1 foreground (#1)
+	Parent   *Node
+	Children []*Node
+
+	// ID is the node's index in Tree.Nodes (post-order). LeafID is the
+	// index among leaves in Tree.Leaves order, or -1 for internal
+	// nodes. Both are assigned by Index.
+	ID     int
+	LeafID int
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Tree is a rooted phylogenetic tree with indexed traversal orders.
+type Tree struct {
+	Root *Node
+	// Nodes lists all nodes in post-order (children before parents);
+	// the root is last. Leaves lists the leaf nodes in the order they
+	// appear in the Newick string.
+	Nodes  []*Node
+	Leaves []*Node
+}
+
+// Index (re)builds Nodes and Leaves and assigns IDs. It must be
+// called after any structural modification.
+func (t *Tree) Index() {
+	t.Nodes = t.Nodes[:0]
+	t.Leaves = t.Leaves[:0]
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			c.Parent = n
+			walk(c)
+		}
+		n.ID = len(t.Nodes)
+		t.Nodes = append(t.Nodes, n)
+		if n.IsLeaf() {
+			n.LeafID = len(t.Leaves)
+			t.Leaves = append(t.Leaves, n)
+		} else {
+			n.LeafID = -1
+		}
+	}
+	t.Root.Parent = nil
+	walk(t.Root)
+}
+
+// NumLeaves returns the number of extant species s.
+func (t *Tree) NumLeaves() int { return len(t.Leaves) }
+
+// NumBranches returns the number of edges (nodes minus the root) —
+// the paper's "up to 2s−3 branches" for unrooted, 2s−2 for rooted
+// binary trees.
+func (t *Tree) NumBranches() int { return len(t.Nodes) - 1 }
+
+// ForegroundBranches returns the nodes whose parent-edge carries mark
+// 1 (the branch under test for positive selection).
+func (t *Tree) ForegroundBranches() []*Node {
+	var out []*Node
+	for _, n := range t.Nodes {
+		if n != t.Root && n.Mark == 1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// LeafByName returns the leaf with the given name, or nil.
+func (t *Tree) LeafByName(name string) *Node {
+	for _, l := range t.Leaves {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// TotalLength returns the sum of all branch lengths.
+func (t *Tree) TotalLength() float64 {
+	s := 0.0
+	for _, n := range t.Nodes {
+		if n != t.Root {
+			s += n.Length
+		}
+	}
+	return s
+}
+
+// Depth returns the maximum number of edges from the root to a leaf.
+func (t *Tree) Depth() int {
+	var depth func(n *Node) int
+	depth = func(n *Node) int {
+		best := 0
+		for _, c := range n.Children {
+			if d := depth(c) + 1; d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	return depth(t.Root)
+}
+
+// Clone returns a deep copy of the tree with fresh indices.
+func (t *Tree) Clone() *Tree {
+	var cp func(n *Node) *Node
+	cp = func(n *Node) *Node {
+		nn := &Node{Name: n.Name, Length: n.Length, Mark: n.Mark}
+		for _, c := range n.Children {
+			cc := cp(c)
+			cc.Parent = nn
+			nn.Children = append(nn.Children, cc)
+		}
+		return nn
+	}
+	out := &Tree{Root: cp(t.Root)}
+	out.Index()
+	return out
+}
+
+// BranchLengths collects the branch lengths indexed by node ID
+// (entries for the root are zero and unused).
+func (t *Tree) BranchLengths() []float64 {
+	out := make([]float64, len(t.Nodes))
+	for _, n := range t.Nodes {
+		if n != t.Root {
+			out[n.ID] = n.Length
+		}
+	}
+	return out
+}
+
+// SetBranchLengths assigns branch lengths from a node-ID-indexed
+// slice, the inverse of BranchLengths.
+func (t *Tree) SetBranchLengths(lens []float64) error {
+	if len(lens) != len(t.Nodes) {
+		return fmt.Errorf("newick: %d lengths for %d nodes", len(lens), len(t.Nodes))
+	}
+	for _, n := range t.Nodes {
+		if n != t.Root {
+			n.Length = lens[n.ID]
+		}
+	}
+	return nil
+}

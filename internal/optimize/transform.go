@@ -1,0 +1,166 @@
+// Package optimize provides the maximization machinery the paper's
+// §II-B calls for: the BFGS quasi-Newton method with inexact line
+// search, numerical gradients, and the smooth bijections that map the
+// model's constrained parameters (κ > 0, ω0 ∈ (0,1), ω2 > 1, simplex
+// proportions, branch lengths ≥ 0) onto the unconstrained space BFGS
+// works in.
+package optimize
+
+import "math"
+
+// Transform is a smooth bijection between an unconstrained internal
+// coordinate y ∈ ℝ and a constrained external parameter x.
+type Transform interface {
+	// External maps internal → constrained.
+	External(y float64) float64
+	// Internal maps constrained → internal. It panics if x violates
+	// the constraint.
+	Internal(x float64) float64
+}
+
+// IdentityTransform leaves the parameter unconstrained.
+type IdentityTransform struct{}
+
+// External returns y.
+func (IdentityTransform) External(y float64) float64 { return y }
+
+// Internal returns x.
+func (IdentityTransform) Internal(x float64) float64 { return x }
+
+// LogTransform maps ℝ → (lo, ∞): x = lo + e^y. With lo = 0 it
+// constrains κ and branch lengths positive; with lo = 1 it gives the
+// ω2 > 1 constraint of H1.
+type LogTransform struct {
+	Lo float64
+}
+
+// External returns Lo + e^y with the exponential clamped to
+// [1e-12, 1e12], so extreme internal coordinates can neither collapse
+// onto the boundary Lo (violating the strict constraint) nor overflow.
+func (t LogTransform) External(y float64) float64 {
+	e := math.Exp(y)
+	if e < 1e-12 {
+		e = 1e-12
+	} else if e > 1e12 {
+		e = 1e12
+	}
+	return t.Lo + e
+}
+
+// Internal returns log(x − Lo).
+func (t LogTransform) Internal(x float64) float64 {
+	d := x - t.Lo
+	if !(d > 0) {
+		panic("optimize: LogTransform.Internal outside domain")
+	}
+	return math.Log(d)
+}
+
+// LogitTransform maps ℝ → (Lo, Hi) via the logistic function; it
+// constrains ω0 ∈ (0, 1) and keeps branch lengths inside a box when an
+// upper bound is wanted.
+type LogitTransform struct {
+	Lo, Hi float64
+}
+
+// External returns Lo + (Hi−Lo)·σ(y), clamped a hair inside the open
+// interval so that extreme internal coordinates cannot saturate to the
+// closed endpoints in floating point (the boundary values violate the
+// model's strict constraints).
+func (t LogitTransform) External(y float64) float64 {
+	const eps = 1e-12
+	u := 1 / (1 + math.Exp(-y))
+	if u < eps {
+		u = eps
+	} else if u > 1-eps {
+		u = 1 - eps
+	}
+	return t.Lo + (t.Hi-t.Lo)*u
+}
+
+// Internal returns the logit of the normalized coordinate.
+func (t LogitTransform) Internal(x float64) float64 {
+	u := (x - t.Lo) / (t.Hi - t.Lo)
+	if !(u > 0) || !(u < 1) {
+		panic("optimize: LogitTransform.Internal outside domain")
+	}
+	return math.Log(u / (1 - u))
+}
+
+// SimplexTransform maps K−1 internal coordinates to the first K−1
+// components of a point in the open K-simplex using the additive
+// log-ratio parameterization:
+//
+//	x_k = e^{y_k} / (1 + Σ_j e^{y_j}),  k < K−1 components free,
+//
+// the last component being the remainder. It provides the (p0, p1)
+// constraint p0, p1 > 0, p0 + p1 < 1 with K = 3.
+type SimplexTransform struct {
+	K int // simplex dimension (number of proportions, ≥ 2)
+}
+
+// External maps internal coordinates y (length K−1) to the first K−1
+// proportions.
+func (t SimplexTransform) External(y []float64) []float64 {
+	if len(y) != t.K-1 {
+		panic("optimize: SimplexTransform.External dimension mismatch")
+	}
+	// Stable softmax with an implicit 0 logit for the last component.
+	maxY := 0.0
+	for _, v := range y {
+		if v > maxY {
+			maxY = v
+		}
+	}
+	denom := math.Exp(-maxY) // the implicit last component
+	exps := make([]float64, len(y))
+	for i, v := range y {
+		exps[i] = math.Exp(v - maxY)
+		denom += exps[i]
+	}
+	out := make([]float64, len(y))
+	for i := range out {
+		out[i] = exps[i] / denom
+	}
+	// Clamp a hair inside the open simplex: extreme coordinates would
+	// otherwise saturate to exact 0/1 in floating point, leaving the
+	// constrained domain.
+	const eps = 1e-9
+	sum := 0.0
+	for i := range out {
+		if out[i] < eps {
+			out[i] = eps
+		}
+		sum += out[i]
+	}
+	if sum > 1-eps {
+		scale := (1 - eps) / sum
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out
+}
+
+// Internal maps proportions (first K−1 components, each > 0 with sum
+// < 1) back to internal coordinates.
+func (t SimplexTransform) Internal(x []float64) []float64 {
+	if len(x) != t.K-1 {
+		panic("optimize: SimplexTransform.Internal dimension mismatch")
+	}
+	rest := 1.0
+	for _, v := range x {
+		if !(v > 0) {
+			panic("optimize: SimplexTransform.Internal outside domain")
+		}
+		rest -= v
+	}
+	if !(rest > 0) {
+		panic("optimize: SimplexTransform.Internal proportions sum ≥ 1")
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Log(v / rest)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bsm"
+	"repro/internal/codon"
+)
+
+func TestRandomTreeShape(t *testing.T) {
+	for _, s := range []int{2, 3, 5, 10, 95} {
+		tr, err := RandomTree(TreeConfig{Species: s, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumLeaves() != s {
+			t.Fatalf("species=%d: got %d leaves", s, tr.NumLeaves())
+		}
+		// Rooted binary tree: 2s−1 nodes, 2s−2 branches.
+		if len(tr.Nodes) != 2*s-1 {
+			t.Fatalf("species=%d: %d nodes, want %d", s, len(tr.Nodes), 2*s-1)
+		}
+		if got := len(tr.ForegroundBranches()); got != 1 {
+			t.Fatalf("species=%d: %d foreground branches", s, got)
+		}
+		for _, n := range tr.Nodes {
+			if n != tr.Root && !(n.Length > 0) {
+				t.Fatalf("non-positive branch length %g", n.Length)
+			}
+		}
+	}
+	if _, err := RandomTree(TreeConfig{Species: 1}); err == nil {
+		t.Fatal("1 species accepted")
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	a, _ := RandomTree(TreeConfig{Species: 12, Seed: 7})
+	b, _ := RandomTree(TreeConfig{Species: 12, Seed: 7})
+	c, _ := RandomTree(TreeConfig{Species: 12, Seed: 8})
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different trees")
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical trees")
+	}
+}
+
+func TestRandomTreeUniqueNames(t *testing.T) {
+	tr, _ := RandomTree(TreeConfig{Species: 30, Seed: 3})
+	seen := map[string]bool{}
+	for _, l := range tr.Leaves {
+		if seen[l.Name] {
+			t.Fatalf("duplicate leaf name %q", l.Name)
+		}
+		seen[l.Name] = true
+	}
+}
+
+func TestRandomPi(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pi := RandomPi(61, 5, rng)
+	sum := 0.0
+	for _, p := range pi {
+		if !(p > 0) {
+			t.Fatalf("non-positive frequency %g", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum = %g", sum)
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, shape := range []float64{0.5, 1, 3, 8} {
+		n := 20000
+		sum, sum2 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			g := gammaSample(shape, rng)
+			sum += g
+			sum2 += g * g
+		}
+		mean := sum / float64(n)
+		variance := sum2/float64(n) - mean*mean
+		if math.Abs(mean-shape) > 0.15*shape {
+			t.Fatalf("shape %g: mean %g", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.3*shape {
+			t.Fatalf("shape %g: variance %g", shape, variance)
+		}
+	}
+}
+
+func TestSimulateBasic(t *testing.T) {
+	tr, _ := RandomTree(TreeConfig{Species: 6, Seed: 11})
+	a, err := Simulate(tr, codon.Universal, SeqConfig{Sites: 40, Params: TrueParams(), Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSeqs() != 6 || a.Length() != 120 {
+		t.Fatalf("shape %d×%d", a.NumSeqs(), a.Length())
+	}
+	// No stops, parseable codons.
+	ca, err := align.EncodeCodons(a, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range ca.Codons {
+		for _, c := range row {
+			if c < 0 {
+				t.Fatal("simulation produced missing codons")
+			}
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	tr, _ := RandomTree(TreeConfig{Species: 5, Seed: 13})
+	a1, _ := Simulate(tr, codon.Universal, SeqConfig{Sites: 30, Params: TrueParams(), Seed: 14})
+	a2, _ := Simulate(tr, codon.Universal, SeqConfig{Sites: 30, Params: TrueParams(), Seed: 14})
+	a3, _ := Simulate(tr, codon.Universal, SeqConfig{Sites: 30, Params: TrueParams(), Seed: 15})
+	if a1.Seqs[0] != a2.Seqs[0] {
+		t.Fatal("same seed produced different sequences")
+	}
+	same := true
+	for i := range a1.Seqs {
+		if a1.Seqs[i] != a3.Seqs[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical alignments")
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	tr, _ := RandomTree(TreeConfig{Species: 4, Seed: 16})
+	if _, err := Simulate(tr, codon.Universal, SeqConfig{Sites: 0, Params: TrueParams()}); err == nil {
+		t.Fatal("zero sites accepted")
+	}
+	bad := TrueParams()
+	bad.Kappa = -1
+	if _, err := Simulate(tr, codon.Universal, SeqConfig{Sites: 5, Params: bad}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// Short branches must yield nearly identical sequences; long branches
+// divergent ones.
+func TestSimulateDivergenceScalesWithBranchLength(t *testing.T) {
+	identity := func(mean float64) float64 {
+		tr, err := RandomTree(TreeConfig{Species: 2, MeanBranchLength: mean, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Simulate(tr, codon.Universal, SeqConfig{Sites: 400, Params: TrueParams(), Seed: 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := 0
+		for i := range a.Seqs[0] {
+			if a.Seqs[0][i] == a.Seqs[1][i] {
+				match++
+			}
+		}
+		return float64(match) / float64(len(a.Seqs[0]))
+	}
+	short := identity(0.001)
+	long := identity(2.0)
+	if short < 0.98 {
+		t.Fatalf("near-zero branches should give near-identical sequences, identity %g", short)
+	}
+	if long > 0.9 {
+		t.Fatalf("long branches should diverge, identity %g", long)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if len(TableII) != 4 {
+		t.Fatal("Table II has four datasets")
+	}
+	wantShapes := map[string][2]int{
+		"i": {7, 299}, "ii": {6, 5004}, "iii": {25, 67}, "iv": {95, 39},
+	}
+	for id, shape := range wantShapes {
+		p, err := PresetByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Species != shape[0] || p.Codons != shape[1] {
+			t.Fatalf("preset %s: %d×%d, want %v", id, p.Species, p.Codons, shape)
+		}
+	}
+	if _, err := PresetByID("v"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestPresetGenerate(t *testing.T) {
+	p, _ := PresetByID("iii")
+	d, err := p.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tree.NumLeaves() != 25 || d.Alignment.NumSeqs() != 25 {
+		t.Fatal("species mismatch")
+	}
+	if d.Alignment.Length() != 67*3 {
+		t.Fatalf("alignment length %d", d.Alignment.Length())
+	}
+	if len(d.Tree.ForegroundBranches()) != 1 {
+		t.Fatal("no foreground branch")
+	}
+}
+
+func TestPresetGenerateWithSpecies(t *testing.T) {
+	p, _ := PresetByID("iv")
+	for _, s := range []int{15, 55} {
+		d, err := p.GenerateWithSpecies(1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Tree.NumLeaves() != s {
+			t.Fatalf("want %d species, got %d", s, d.Tree.NumLeaves())
+		}
+		if d.Alignment.Length() != 39*3 {
+			t.Fatal("codon count should stay at the preset value")
+		}
+	}
+}
+
+func TestTrueParamsValid(t *testing.T) {
+	if err := TrueParams().Validate(bsm.H1); err != nil {
+		t.Fatal(err)
+	}
+}

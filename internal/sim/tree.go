@@ -1,0 +1,156 @@
+// Package sim generates synthetic workloads with the shape of the
+// paper's evaluation data. The paper benchmarks on four Ensembl
+// alignments curated for Selectome (Table II); those are not
+// redistributable, so this package provides the documented
+// substitution: random coalescent-style trees and codon sequences
+// simulated under branch-site model A itself, with presets matching
+// Table II's (species × codons) shapes. Runtime behaviour — the
+// paper's subject — depends on tree size, alignment length and the
+// optimizer trajectory, all of which the simulation reproduces.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/newick"
+)
+
+// TreeConfig parameterizes random tree generation.
+type TreeConfig struct {
+	// Species is the number of extant leaves (≥ 2).
+	Species int
+	// MeanBranchLength is the mean of the exponential branch length
+	// distribution; zero selects 0.08, a typical vertebrate gene-tree
+	// scale.
+	MeanBranchLength float64
+	// Seed makes generation deterministic, mirroring the paper's
+	// fixed random number generator seed ("To generate comparable and
+	// reproducible results, we fixed the seed").
+	Seed int64
+}
+
+// RandomTree builds a random rooted binary tree by successively
+// joining random pairs of lineages (a coalescent-style topology),
+// with independent exponential branch lengths, and marks one randomly
+// chosen internal branch as the foreground branch (#1). When the tree
+// has no internal non-root branch (2–3 species), a leaf branch is
+// marked instead, which CodeML equally allows.
+func RandomTree(cfg TreeConfig) (*newick.Tree, error) {
+	if cfg.Species < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 species, got %d", cfg.Species)
+	}
+	mean := cfg.MeanBranchLength
+	if mean == 0 {
+		mean = 0.08
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	lineages := make([]*newick.Node, cfg.Species)
+	for i := range lineages {
+		lineages[i] = &newick.Node{
+			Name:   fmt.Sprintf("S%03d", i+1),
+			Length: expLen(rng, mean),
+		}
+	}
+	for len(lineages) > 2 {
+		i := rng.Intn(len(lineages))
+		j := rng.Intn(len(lineages) - 1)
+		if j >= i {
+			j++
+		}
+		if i > j {
+			i, j = j, i
+		}
+		parent := &newick.Node{
+			Length:   expLen(rng, mean),
+			Children: []*newick.Node{lineages[i], lineages[j]},
+		}
+		lineages[i] = parent
+		lineages[j] = lineages[len(lineages)-1]
+		lineages = lineages[:len(lineages)-1]
+	}
+	root := &newick.Node{Children: []*newick.Node{lineages[0], lineages[1]}}
+	t := &newick.Tree{Root: root}
+	t.Index()
+
+	// Choose the foreground branch among internal non-root branches,
+	// falling back to any branch.
+	var candidates []*newick.Node
+	for _, n := range t.Nodes {
+		if n != t.Root && !n.IsLeaf() {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		for _, n := range t.Nodes {
+			if n != t.Root {
+				candidates = append(candidates, n)
+			}
+		}
+	}
+	candidates[rng.Intn(len(candidates))].Mark = 1
+	t.Index()
+	return t, nil
+}
+
+// expLen draws an exponential branch length, floored away from zero so
+// no branch is degenerate.
+func expLen(rng *rand.Rand, mean float64) float64 {
+	l := rng.ExpFloat64() * mean
+	if l < 1e-4 {
+		l = 1e-4
+	}
+	return l
+}
+
+// RandomPi draws a strictly positive random frequency vector of the
+// given dimension from a symmetric Dirichlet(shape) distribution
+// (sampled as normalized Gamma variates). Larger shapes give flatter
+// vectors; shape 5 resembles empirical codon frequency spread.
+func RandomPi(n int, shape float64, rng *rand.Rand) []float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("sim: Dirichlet shape must be positive, got %g", shape))
+	}
+	pi := make([]float64, n)
+	sum := 0.0
+	for i := range pi {
+		g := gammaSample(shape, rng)
+		if g < 1e-8 {
+			g = 1e-8
+		}
+		pi[i] = g
+		sum += g
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi
+}
+
+// gammaSample draws from Gamma(shape, 1) with the Marsaglia–Tsang
+// method (for shape ≥ 1) and the boost trick for shape < 1.
+func gammaSample(shape float64, rng *rand.Rand) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		return gammaSample(shape+1, rng) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

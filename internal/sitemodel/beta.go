@@ -1,0 +1,172 @@
+package sitemodel
+
+import (
+	"fmt"
+
+	"repro/internal/codon"
+	"repro/internal/stat"
+)
+
+// DefaultBetaCategories is the number of discrete categories used to
+// approximate the beta distribution of ω, matching PAML's ncatG
+// default for M7/M8.
+const DefaultBetaCategories = 10
+
+// M7 is the "beta" site model: ω varies among sites following a
+// Beta(P, Q) distribution on (0, 1), discretized into K
+// equal-probability categories. It is the null of CodeML's second
+// positive-selection site test (M7 vs M8) and a heavier workload than
+// M1a/M2a — K rate matrices and eigendecompositions per likelihood
+// evaluation — which makes it a good stress of the paper's optimized
+// pipeline (§V-B).
+type M7 struct {
+	Kappa float64
+	P, Q  float64
+
+	gc     *codon.GeneticCode
+	pi     []float64
+	omegas []float64
+	rates  []*codon.Rate
+	muBar  float64
+}
+
+// NewM7 builds the beta site model with k categories (0 selects
+// DefaultBetaCategories).
+func NewM7(gc *codon.GeneticCode, kappa, p, q float64, k int, pi []float64) (*M7, error) {
+	if k == 0 {
+		k = DefaultBetaCategories
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("sitemodel: M7 needs ≥ 2 categories, got %d", k)
+	}
+	if !(p > 0) || !(q > 0) {
+		return nil, fmt.Errorf("sitemodel: M7 beta parameters must be positive, got p=%g q=%g", p, q)
+	}
+	m := &M7{Kappa: kappa, P: p, Q: q, gc: gc, omegas: stat.DiscretizeBeta(p, q, k)}
+	for _, w := range m.omegas {
+		r, err := codon.NewRate(gc, kappa, w, pi)
+		if err != nil {
+			return nil, err
+		}
+		m.rates = append(m.rates, r)
+		m.muBar += r.Mu / float64(k)
+	}
+	m.pi = m.rates[0].Pi
+	return m, nil
+}
+
+// GeneticCode returns the genetic code.
+func (m *M7) GeneticCode() *codon.GeneticCode { return m.gc }
+
+// Frequencies returns π.
+func (m *M7) Frequencies() []float64 { return m.pi }
+
+// NumSiteClasses returns the number of beta categories.
+func (m *M7) NumSiteClasses() int { return len(m.rates) }
+
+// ClassProportions returns the equal category weights.
+func (m *M7) ClassProportions() []float64 {
+	out := make([]float64, len(m.rates))
+	for i := range out {
+		out[i] = 1 / float64(len(out))
+	}
+	return out
+}
+
+// NumRateSlots returns one slot per category.
+func (m *M7) NumRateSlots() int { return len(m.rates) }
+
+// RateAt returns the category's rate matrix.
+func (m *M7) RateAt(slot int) *codon.Rate { return m.rates[slot] }
+
+// RateSlotFor maps class k to slot k on every branch.
+func (m *M7) RateSlotFor(class int, _ bool) int { return class }
+
+// EffectiveTime rescales by the category-mixture mean rate.
+func (m *M7) EffectiveTime(t float64) float64 { return t / m.muBar }
+
+// Omegas returns the discretized category ω values (ascending for
+// ascending quantiles). The slice must not be modified.
+func (m *M7) Omegas() []float64 { return m.omegas }
+
+// M8 is the "beta&ω" site model: a proportion P0 of sites follows
+// Beta(P, Q) as in M7, and the remaining 1−P0 evolve with ωs ≥ 1.
+// M7 vs M8 (df = 2) is CodeML's beta-based positive-selection test.
+type M8 struct {
+	Kappa  float64
+	P, Q   float64
+	P0     float64
+	OmegaS float64
+
+	beta  *M7
+	extra *codon.Rate
+	muBar float64
+}
+
+// NewM8 builds the beta&ω model with k beta categories (0 selects
+// DefaultBetaCategories).
+func NewM8(gc *codon.GeneticCode, kappa, p, q, p0, omegaS float64, k int, pi []float64) (*M8, error) {
+	if !(p0 > 0) || p0 >= 1 {
+		return nil, fmt.Errorf("sitemodel: M8 p0 = %g must lie in (0,1)", p0)
+	}
+	if omegaS < 1 {
+		return nil, fmt.Errorf("sitemodel: M8 omegaS = %g must be ≥ 1", omegaS)
+	}
+	beta, err := NewM7(gc, kappa, p, q, k, pi)
+	if err != nil {
+		return nil, err
+	}
+	extra, err := codon.NewRate(gc, kappa, omegaS, pi)
+	if err != nil {
+		return nil, err
+	}
+	m := &M8{Kappa: kappa, P: p, Q: q, P0: p0, OmegaS: omegaS, beta: beta, extra: extra}
+	kf := float64(beta.NumSiteClasses())
+	for _, r := range beta.rates {
+		m.muBar += p0 * r.Mu / kf
+	}
+	m.muBar += (1 - p0) * extra.Mu
+	return m, nil
+}
+
+// GeneticCode returns the genetic code.
+func (m *M8) GeneticCode() *codon.GeneticCode { return m.beta.gc }
+
+// Frequencies returns π.
+func (m *M8) Frequencies() []float64 { return m.beta.pi }
+
+// NumSiteClasses returns the beta categories plus the ωs class.
+func (m *M8) NumSiteClasses() int { return m.beta.NumSiteClasses() + 1 }
+
+// ClassProportions returns {p0/K, …, p0/K, 1−p0}.
+func (m *M8) ClassProportions() []float64 {
+	k := m.beta.NumSiteClasses()
+	out := make([]float64, k+1)
+	for i := 0; i < k; i++ {
+		out[i] = m.P0 / float64(k)
+	}
+	out[k] = 1 - m.P0
+	return out
+}
+
+// NumRateSlots returns one slot per class.
+func (m *M8) NumRateSlots() int { return m.NumSiteClasses() }
+
+// RateAt returns the slot's rate matrix (the last slot is the ωs
+// class).
+func (m *M8) RateAt(slot int) *codon.Rate {
+	if slot == m.beta.NumSiteClasses() {
+		return m.extra
+	}
+	return m.beta.rates[slot]
+}
+
+// RateSlotFor maps class k to slot k on every branch.
+func (m *M8) RateSlotFor(class int, _ bool) int { return class }
+
+// EffectiveTime rescales by the full mixture mean rate.
+func (m *M8) EffectiveTime(t float64) float64 { return t / m.muBar }
+
+// PositiveClass returns the class index of the ωs ≥ 1 category, for
+// NEB site identification under M8.
+func (m *M8) PositiveClass() int { return m.beta.NumSiteClasses() }

@@ -1,0 +1,150 @@
+package sitemodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/codon"
+	"repro/internal/lik"
+)
+
+func TestM7Shape(t *testing.T) {
+	m, err := NewM7(codon.Universal, 2, 2, 3, 0, uniformPi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSiteClasses() != DefaultBetaCategories {
+		t.Fatalf("default categories = %d", m.NumSiteClasses())
+	}
+	props := m.ClassProportions()
+	for _, p := range props {
+		if math.Abs(p-0.1) > 1e-15 {
+			t.Fatalf("unequal category weight %g", p)
+		}
+	}
+	// Omegas ascending, inside (0,1), category means of Beta(2,3).
+	prev := 0.0
+	for _, w := range m.Omegas() {
+		if w <= prev || w >= 1 {
+			t.Fatalf("bad omega sequence: %v", m.Omegas())
+		}
+		prev = w
+	}
+	// Rates carry the omegas.
+	for i, w := range m.Omegas() {
+		if m.RateAt(i).Omega != w {
+			t.Fatal("rate/omega mismatch")
+		}
+	}
+	if !(m.EffectiveTime(1) > 0) {
+		t.Fatal("non-positive effective time")
+	}
+}
+
+func TestM7Validation(t *testing.T) {
+	pi := uniformPi()
+	if _, err := NewM7(codon.Universal, 2, 0, 3, 0, pi); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := NewM7(codon.Universal, 2, 2, -1, 0, pi); err == nil {
+		t.Fatal("q<0 accepted")
+	}
+	if _, err := NewM7(codon.Universal, 2, 2, 3, 1, pi); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestM8Shape(t *testing.T) {
+	m, err := NewM8(codon.Universal, 2, 2, 3, 0.8, 2.5, 5, uniformPi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSiteClasses() != 6 {
+		t.Fatalf("classes = %d, want 5 beta + 1", m.NumSiteClasses())
+	}
+	props := m.ClassProportions()
+	sum := 0.0
+	for i := 0; i < 5; i++ {
+		if math.Abs(props[i]-0.16) > 1e-12 {
+			t.Fatalf("beta weight %g, want 0.16", props[i])
+		}
+		sum += props[i]
+	}
+	if math.Abs(props[5]-0.2) > 1e-12 {
+		t.Fatalf("ωs weight %g, want 0.2", props[5])
+	}
+	sum += props[5]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("proportions sum %g", sum)
+	}
+	if m.RateAt(m.PositiveClass()).Omega != 2.5 {
+		t.Fatal("ωs rate wrong")
+	}
+	if m.RateSlotFor(m.PositiveClass(), true) != m.PositiveClass() {
+		t.Fatal("slot mapping wrong")
+	}
+}
+
+func TestM8Validation(t *testing.T) {
+	pi := uniformPi()
+	if _, err := NewM8(codon.Universal, 2, 2, 3, 0, 2, 0, pi); err == nil {
+		t.Fatal("p0=0 accepted")
+	}
+	if _, err := NewM8(codon.Universal, 2, 2, 3, 1, 2, 0, pi); err == nil {
+		t.Fatal("p0=1 accepted")
+	}
+	if _, err := NewM8(codon.Universal, 2, 2, 3, 0.8, 0.5, 0, pi); err == nil {
+		t.Fatal("omegaS<1 accepted")
+	}
+}
+
+// M7 and M8 satisfy lik.Model and behave consistently through the
+// engine interface contract.
+func TestBetaModelsConformance(t *testing.T) {
+	pi := uniformPi()
+	m7, err := NewM7(codon.Universal, 2, 1.5, 2.5, 4, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := NewM8(codon.Universal, 2, 1.5, 2.5, 0.9, 3, 4, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []lik.Model{m7, m8} {
+		props := m.ClassProportions()
+		if len(props) != m.NumSiteClasses() {
+			t.Fatal("proportion/class mismatch")
+		}
+		sum := 0.0
+		for _, p := range props {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("proportions sum %g", sum)
+		}
+		for c := 0; c < m.NumSiteClasses(); c++ {
+			slot := m.RateSlotFor(c, false)
+			if slot < 0 || slot >= m.NumRateSlots() || m.RateAt(slot) == nil {
+				t.Fatal("bad slot mapping")
+			}
+		}
+	}
+}
+
+// With ωs = 1 and p0 → 1, M8 degenerates toward M7 (same beta part):
+// mean rates converge.
+func TestM8DegeneratesTowardM7(t *testing.T) {
+	pi := uniformPi()
+	m7, err := NewM7(codon.Universal, 2, 2, 3, 4, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := NewM8(codon.Universal, 2, 2, 3, 0.999999, 1, 4, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effective time scalings agree to the degeneracy tolerance.
+	if math.Abs(m7.EffectiveTime(1)-m8.EffectiveTime(1)) > 1e-4*m7.EffectiveTime(1) {
+		t.Fatalf("time scalings differ: %g vs %g", m7.EffectiveTime(1), m8.EffectiveTime(1))
+	}
+}

@@ -1,0 +1,204 @@
+// Package sitemodel implements the classic codon site models of
+// CodeML on top of the same optimized likelihood engine as the
+// branch-site model — the generalization the paper's conclusion
+// announces ("the optimized likelihood computation can also be applied
+// to further maximum likelihood-based evolutionary models", §V-B):
+//
+//   - M0 ("one-ratio"): a single ω for all sites and branches. Its
+//     fit provides the branch lengths real pipelines (e.g. Selectome)
+//     use to initialize branch-site runs.
+//   - M1a ("nearly neutral"): two site classes, ω0 < 1 and ω1 = 1.
+//   - M2a ("positive selection"): M1a plus a third class with ω2 > 1.
+//
+// M1a vs M2a is CodeML's site test for positive selection (df = 2),
+// complementing the branch-site test of internal/bsm. None of these
+// models distinguish foreground from background branches, so
+// RateSlotFor ignores the foreground flag.
+package sitemodel
+
+import (
+	"fmt"
+
+	"repro/internal/codon"
+)
+
+// M0 is the one-ratio model: one ω shared by every site and branch.
+type M0 struct {
+	Kappa float64
+	Omega float64
+
+	gc   *codon.GeneticCode
+	pi   []float64
+	rate *codon.Rate
+}
+
+// NewM0 builds the one-ratio model. Q is normalized so branch lengths
+// are expected substitutions per codon.
+func NewM0(gc *codon.GeneticCode, kappa, omega float64, pi []float64) (*M0, error) {
+	rate, err := codon.NewRate(gc, kappa, omega, pi)
+	if err != nil {
+		return nil, err
+	}
+	return &M0{Kappa: kappa, Omega: omega, gc: gc, pi: rate.Pi, rate: rate}, nil
+}
+
+// GeneticCode returns the genetic code.
+func (m *M0) GeneticCode() *codon.GeneticCode { return m.gc }
+
+// Frequencies returns π.
+func (m *M0) Frequencies() []float64 { return m.pi }
+
+// NumSiteClasses returns 1.
+func (m *M0) NumSiteClasses() int { return 1 }
+
+// ClassProportions returns the trivial distribution.
+func (m *M0) ClassProportions() []float64 { return []float64{1} }
+
+// NumRateSlots returns 1.
+func (m *M0) NumRateSlots() int { return 1 }
+
+// RateAt returns the single rate matrix.
+func (m *M0) RateAt(int) *codon.Rate { return m.rate }
+
+// RateSlotFor always returns slot 0.
+func (m *M0) RateSlotFor(int, bool) int { return 0 }
+
+// EffectiveTime rescales by the mean rate so branch lengths are in
+// expected substitutions per codon.
+func (m *M0) EffectiveTime(t float64) float64 { return t / m.rate.Mu }
+
+// M1a is the nearly-neutral model: a conserved class (0 < ω0 < 1,
+// proportion p0) and a neutral class (ω1 = 1).
+type M1a struct {
+	Kappa  float64
+	Omega0 float64
+	P0     float64
+
+	gc    *codon.GeneticCode
+	pi    []float64
+	rates [2]*codon.Rate
+	muBar float64
+}
+
+// NewM1a builds the nearly-neutral model.
+func NewM1a(gc *codon.GeneticCode, kappa, omega0, p0 float64, pi []float64) (*M1a, error) {
+	if !(omega0 > 0) || omega0 >= 1 {
+		return nil, fmt.Errorf("sitemodel: M1a omega0 = %g must lie in (0,1)", omega0)
+	}
+	if !(p0 > 0) || p0 >= 1 {
+		return nil, fmt.Errorf("sitemodel: M1a p0 = %g must lie in (0,1)", p0)
+	}
+	r0, err := codon.NewRate(gc, kappa, omega0, pi)
+	if err != nil {
+		return nil, err
+	}
+	r1, err := codon.NewRate(gc, kappa, 1, pi)
+	if err != nil {
+		return nil, err
+	}
+	m := &M1a{Kappa: kappa, Omega0: omega0, P0: p0, gc: gc, pi: r0.Pi, rates: [2]*codon.Rate{r0, r1}}
+	m.muBar = p0*r0.Mu + (1-p0)*r1.Mu
+	return m, nil
+}
+
+// GeneticCode returns the genetic code.
+func (m *M1a) GeneticCode() *codon.GeneticCode { return m.gc }
+
+// Frequencies returns π.
+func (m *M1a) Frequencies() []float64 { return m.pi }
+
+// NumSiteClasses returns 2.
+func (m *M1a) NumSiteClasses() int { return 2 }
+
+// ClassProportions returns {p0, 1−p0}.
+func (m *M1a) ClassProportions() []float64 { return []float64{m.P0, 1 - m.P0} }
+
+// NumRateSlots returns 2.
+func (m *M1a) NumRateSlots() int { return 2 }
+
+// RateAt returns the slot's rate matrix.
+func (m *M1a) RateAt(slot int) *codon.Rate { return m.rates[slot] }
+
+// RateSlotFor maps class k to slot k on every branch.
+func (m *M1a) RateSlotFor(class int, _ bool) int { return class }
+
+// EffectiveTime rescales by the mixture mean rate.
+func (m *M1a) EffectiveTime(t float64) float64 { return t / m.muBar }
+
+// M2a is the positive-selection site model: M1a plus a class with
+// ω2 ≥ 1 and proportion 1−p0−p1.
+type M2a struct {
+	Kappa  float64
+	Omega0 float64
+	Omega2 float64
+	P0, P1 float64
+
+	gc    *codon.GeneticCode
+	pi    []float64
+	rates [3]*codon.Rate
+	muBar float64
+}
+
+// NewM2a builds the positive-selection site model. When omega2 == 1
+// the third class's matrix aliases the neutral one, saving an
+// eigendecomposition exactly as CodeML does for the null of the site
+// test.
+func NewM2a(gc *codon.GeneticCode, kappa, omega0, omega2, p0, p1 float64, pi []float64) (*M2a, error) {
+	if !(omega0 > 0) || omega0 >= 1 {
+		return nil, fmt.Errorf("sitemodel: M2a omega0 = %g must lie in (0,1)", omega0)
+	}
+	if omega2 < 1 {
+		return nil, fmt.Errorf("sitemodel: M2a omega2 = %g must be ≥ 1", omega2)
+	}
+	if !(p0 > 0) || !(p1 > 0) || p0+p1 >= 1 {
+		return nil, fmt.Errorf("sitemodel: M2a proportions p0=%g p1=%g invalid", p0, p1)
+	}
+	r0, err := codon.NewRate(gc, kappa, omega0, pi)
+	if err != nil {
+		return nil, err
+	}
+	r1, err := codon.NewRate(gc, kappa, 1, pi)
+	if err != nil {
+		return nil, err
+	}
+	r2 := r1
+	if omega2 != 1 {
+		if r2, err = codon.NewRate(gc, kappa, omega2, pi); err != nil {
+			return nil, err
+		}
+	}
+	m := &M2a{
+		Kappa: kappa, Omega0: omega0, Omega2: omega2, P0: p0, P1: p1,
+		gc: gc, pi: r0.Pi, rates: [3]*codon.Rate{r0, r1, r2},
+	}
+	p2 := 1 - p0 - p1
+	m.muBar = p0*r0.Mu + p1*r1.Mu + p2*r2.Mu
+	return m, nil
+}
+
+// GeneticCode returns the genetic code.
+func (m *M2a) GeneticCode() *codon.GeneticCode { return m.gc }
+
+// Frequencies returns π.
+func (m *M2a) Frequencies() []float64 { return m.pi }
+
+// NumSiteClasses returns 3.
+func (m *M2a) NumSiteClasses() int { return 3 }
+
+// ClassProportions returns {p0, p1, 1−p0−p1}.
+func (m *M2a) ClassProportions() []float64 {
+	return []float64{m.P0, m.P1, 1 - m.P0 - m.P1}
+}
+
+// NumRateSlots returns 3.
+func (m *M2a) NumRateSlots() int { return 3 }
+
+// RateAt returns the slot's rate matrix (slot 2 aliases slot 1 when
+// ω2 = 1).
+func (m *M2a) RateAt(slot int) *codon.Rate { return m.rates[slot] }
+
+// RateSlotFor maps class k to slot k on every branch.
+func (m *M2a) RateSlotFor(class int, _ bool) int { return class }
+
+// EffectiveTime rescales by the mixture mean rate.
+func (m *M2a) EffectiveTime(t float64) float64 { return t / m.muBar }

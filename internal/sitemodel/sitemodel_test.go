@@ -1,0 +1,161 @@
+package sitemodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/codon"
+	"repro/internal/lik"
+)
+
+func uniformPi() []float64 { return codon.UniformFrequencies(codon.Universal) }
+
+func TestM0Basics(t *testing.T) {
+	m, err := NewM0(codon.Universal, 2, 0.4, uniformPi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSiteClasses() != 1 || m.NumRateSlots() != 1 {
+		t.Fatal("M0 shape wrong")
+	}
+	if m.ClassProportions()[0] != 1 {
+		t.Fatal("M0 proportions wrong")
+	}
+	if m.RateSlotFor(0, true) != 0 || m.RateSlotFor(0, false) != 0 {
+		t.Fatal("M0 slot mapping wrong")
+	}
+	// Normalized: EffectiveTime(μ) == 1.
+	if math.Abs(m.EffectiveTime(m.RateAt(0).Mu)-1) > 1e-12 {
+		t.Fatal("M0 time scaling wrong")
+	}
+	if m.GeneticCode() != codon.Universal {
+		t.Fatal("wrong code")
+	}
+	if _, err := NewM0(codon.Universal, -1, 0.4, uniformPi()); err == nil {
+		t.Fatal("bad kappa accepted")
+	}
+}
+
+func TestM1aBasics(t *testing.T) {
+	m, err := NewM1a(codon.Universal, 2, 0.1, 0.7, uniformPi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSiteClasses() != 2 || m.NumRateSlots() != 2 {
+		t.Fatal("M1a shape wrong")
+	}
+	props := m.ClassProportions()
+	if props[0] != 0.7 || math.Abs(props[1]-0.3) > 1e-15 {
+		t.Fatalf("M1a proportions %v", props)
+	}
+	if m.RateAt(0).Omega != 0.1 || m.RateAt(1).Omega != 1 {
+		t.Fatal("M1a rates wrong")
+	}
+	// Foreground flag must not matter.
+	for c := 0; c < 2; c++ {
+		if m.RateSlotFor(c, true) != m.RateSlotFor(c, false) {
+			t.Fatal("site model must ignore foreground")
+		}
+	}
+	// μ̄ is the mixture mean.
+	want := 0.7*m.RateAt(0).Mu + 0.3*m.RateAt(1).Mu
+	if math.Abs(m.EffectiveTime(want)-1) > 1e-12 {
+		t.Fatal("M1a normalizer wrong")
+	}
+}
+
+func TestM1aValidation(t *testing.T) {
+	pi := uniformPi()
+	cases := []struct{ w0, p0 float64 }{
+		{0, 0.5}, {1, 0.5}, {1.5, 0.5}, {0.5, 0}, {0.5, 1},
+	}
+	for _, c := range cases {
+		if _, err := NewM1a(codon.Universal, 2, c.w0, c.p0, pi); err == nil {
+			t.Fatalf("accepted w0=%g p0=%g", c.w0, c.p0)
+		}
+	}
+}
+
+func TestM2aBasics(t *testing.T) {
+	m, err := NewM2a(codon.Universal, 2, 0.1, 3, 0.6, 0.3, uniformPi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSiteClasses() != 3 || m.NumRateSlots() != 3 {
+		t.Fatal("M2a shape wrong")
+	}
+	props := m.ClassProportions()
+	if math.Abs(props[2]-0.1) > 1e-12 {
+		t.Fatalf("M2a class-2 proportion %g", props[2])
+	}
+	if m.RateAt(2).Omega != 3 {
+		t.Fatal("M2a omega2 rate wrong")
+	}
+	// ω2 = 1 must alias the neutral matrix (one fewer decomposition).
+	null, err := NewM2a(codon.Universal, 2, 0.1, 1, 0.6, 0.3, uniformPi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if null.RateAt(2) != null.RateAt(1) {
+		t.Fatal("M2a with ω2=1 must alias the neutral rate")
+	}
+}
+
+func TestM2aValidation(t *testing.T) {
+	pi := uniformPi()
+	cases := []struct{ w0, w2, p0, p1 float64 }{
+		{0, 2, 0.5, 0.3}, {1.2, 2, 0.5, 0.3}, {0.5, 0.5, 0.5, 0.3},
+		{0.5, 2, 0, 0.3}, {0.5, 2, 0.5, 0}, {0.5, 2, 0.7, 0.4},
+	}
+	for _, c := range cases {
+		if _, err := NewM2a(codon.Universal, 2, c.w0, c.w2, c.p0, c.p1, pi); err == nil {
+			t.Fatalf("accepted %+v", c)
+		}
+	}
+}
+
+// Conformance: all three models (and bsm.Model) satisfy lik.Model and
+// report internally consistent shapes.
+func TestLikModelConformance(t *testing.T) {
+	pi := uniformPi()
+	m0, _ := NewM0(codon.Universal, 2, 0.4, pi)
+	m1a, _ := NewM1a(codon.Universal, 2, 0.1, 0.7, pi)
+	m2a, _ := NewM2a(codon.Universal, 2, 0.1, 3, 0.6, 0.3, pi)
+	models := []lik.Model{m0, m1a, m2a}
+	for _, m := range models {
+		if m.GeneticCode() == nil {
+			t.Fatal("nil code")
+		}
+		if len(m.Frequencies()) != m.GeneticCode().NumStates() {
+			t.Fatal("frequency length mismatch")
+		}
+		props := m.ClassProportions()
+		if len(props) != m.NumSiteClasses() {
+			t.Fatal("proportion count mismatch")
+		}
+		sum := 0.0
+		for _, p := range props {
+			if !(p > 0) {
+				t.Fatal("non-positive proportion")
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("proportions sum to %g", sum)
+		}
+		for c := 0; c < m.NumSiteClasses(); c++ {
+			for _, fg := range []bool{false, true} {
+				slot := m.RateSlotFor(c, fg)
+				if slot < 0 || slot >= m.NumRateSlots() {
+					t.Fatalf("slot %d out of range", slot)
+				}
+				if m.RateAt(slot) == nil {
+					t.Fatal("nil rate in used slot")
+				}
+			}
+		}
+		if !(m.EffectiveTime(1) > 0) {
+			t.Fatal("non-positive effective time")
+		}
+	}
+}

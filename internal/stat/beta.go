@@ -1,0 +1,147 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// BetaInc returns the regularized incomplete beta function
+// I_x(a, b) = B(x; a, b)/B(a, b) for a, b > 0 and x ∈ [0, 1], using
+// the continued-fraction expansion (Numerical Recipes §6.4). It is the
+// CDF of the Beta(a, b) distribution — the machinery CodeML's M7/M8
+// site models need to discretize their beta-distributed ω.
+func BetaInc(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic(fmt.Sprintf("stat: BetaInc needs a, b > 0, got %g, %g", a, b))
+	}
+	if x < 0 || x > 1 {
+		panic(fmt.Sprintf("stat: BetaInc needs x in [0,1], got %g", x))
+	}
+	if x == 0 {
+		return 0
+	}
+	if x == 1 {
+		return 1
+	}
+	lgA, _ := math.Lgamma(a)
+	lgB, _ := math.Lgamma(b)
+	lgAB, _ := math.Lgamma(a + b)
+	front := math.Exp(lgAB - lgA - lgB + a*math.Log(x) + b*math.Log(1-x))
+	// Use the symmetry relation for faster convergence.
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-15
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// BetaQuantile inverts the Beta(a, b) CDF by bisection to ~1e-12.
+func BetaQuantile(p, a, b float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stat: BetaQuantile needs p in [0,1], got %g", p))
+	}
+	if p == 0 {
+		return 0
+	}
+	if p == 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if BetaInc(a, b, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-14 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// DiscretizeBeta approximates Beta(p, q) by k equal-probability
+// categories, returning each category's conditional mean — PAML's
+// discretization for the M7/M8 ω distribution (Yang 1994's "mean"
+// option). Every returned value lies strictly inside (0, 1).
+func DiscretizeBeta(p, q float64, k int) []float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("stat: DiscretizeBeta needs k ≥ 1, got %d", k))
+	}
+	// Conditional mean over a quantile bin [x_{i}, x_{i+1}]:
+	// E[X | bin] = k·(p/(p+q))·[I_{x_{i+1}}(p+1, q) − I_{x_i}(p+1, q)].
+	mean := p / (p + q)
+	edges := make([]float64, k+1)
+	edges[0], edges[k] = 0, 1
+	for i := 1; i < k; i++ {
+		edges[i] = BetaQuantile(float64(i)/float64(k), p, q)
+	}
+	out := make([]float64, k)
+	prev := 0.0
+	for i := 0; i < k; i++ {
+		next := 1.0
+		if i < k-1 {
+			next = BetaInc(p+1, q, edges[i+1])
+		}
+		v := float64(k) * mean * (next - prev)
+		// Clamp away from the boundaries: ω must stay in (0, 1) for the
+		// rate-matrix constructors.
+		if v < 1e-8 {
+			v = 1e-8
+		} else if v > 1-1e-8 {
+			v = 1 - 1e-8
+		}
+		out[i] = v
+		prev = next
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetaIncEndpointsAndSymmetry(t *testing.T) {
+	if BetaInc(2, 3, 0) != 0 || BetaInc(2, 3, 1) != 1 {
+		t.Fatal("endpoints wrong")
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	for _, x := range []float64{0.1, 0.37, 0.5, 0.9} {
+		l := BetaInc(2.5, 4, x)
+		r := 1 - BetaInc(4, 2.5, 1-x)
+		if math.Abs(l-r) > 1e-12 {
+			t.Fatalf("symmetry violated at %g: %g vs %g", x, l, r)
+		}
+	}
+}
+
+func TestBetaIncKnownValues(t *testing.T) {
+	// Beta(1,1) is uniform: I_x = x.
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		if math.Abs(BetaInc(1, 1, x)-x) > 1e-13 {
+			t.Fatalf("uniform CDF wrong at %g", x)
+		}
+	}
+	// Beta(2,1): CDF x².
+	if math.Abs(BetaInc(2, 1, 0.5)-0.25) > 1e-13 {
+		t.Fatal("Beta(2,1) CDF wrong")
+	}
+	// Beta(2,2): CDF 3x²−2x³.
+	x := 0.3
+	want := 3*x*x - 2*x*x*x
+	if math.Abs(BetaInc(2, 2, x)-want) > 1e-13 {
+		t.Fatal("Beta(2,2) CDF wrong")
+	}
+	// Beta(1/2,1/2) (arcsine law): CDF (2/π)·asin(√x).
+	want = 2 / math.Pi * math.Asin(math.Sqrt(0.4))
+	if math.Abs(BetaInc(0.5, 0.5, 0.4)-want) > 1e-12 {
+		t.Fatal("arcsine CDF wrong")
+	}
+}
+
+func TestBetaIncPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BetaInc(0, 1, 0.5) },
+		func() { BetaInc(1, -1, 0.5) },
+		func() { BetaInc(1, 1, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBetaQuantileInvertsCDF(t *testing.T) {
+	for _, ab := range [][2]float64{{1, 1}, {2, 5}, {0.3, 0.7}, {8, 2}} {
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+			x := BetaQuantile(p, ab[0], ab[1])
+			if math.Abs(BetaInc(ab[0], ab[1], x)-p) > 1e-9 {
+				t.Fatalf("quantile inversion failed for Beta(%g,%g) at p=%g", ab[0], ab[1], p)
+			}
+		}
+	}
+	if BetaQuantile(0, 2, 2) != 0 || BetaQuantile(1, 2, 2) != 1 {
+		t.Fatal("quantile endpoints wrong")
+	}
+}
+
+func TestDiscretizeBetaMeanPreserved(t *testing.T) {
+	// The category means, averaged, must equal the distribution mean
+	// p/(p+q) (the discretization is mean-preserving by construction).
+	for _, ab := range [][2]float64{{2, 3}, {0.5, 0.5}, {1, 4}, {5, 1}} {
+		for _, k := range []int{4, 10} {
+			cats := DiscretizeBeta(ab[0], ab[1], k)
+			if len(cats) != k {
+				t.Fatalf("got %d categories", len(cats))
+			}
+			sum := 0.0
+			prev := -1.0
+			for _, v := range cats {
+				if !(v > 0) || !(v < 1) {
+					t.Fatalf("category %g outside (0,1)", v)
+				}
+				if v < prev {
+					t.Fatal("categories not ascending")
+				}
+				prev = v
+				sum += v
+			}
+			mean := ab[0] / (ab[0] + ab[1])
+			if math.Abs(sum/float64(k)-mean) > 1e-6 {
+				t.Fatalf("Beta(%g,%g) k=%d: mean %g, want %g",
+					ab[0], ab[1], k, sum/float64(k), mean)
+			}
+		}
+	}
+}
+
+func TestDiscretizeBetaSingleCategory(t *testing.T) {
+	cats := DiscretizeBeta(2, 3, 1)
+	if len(cats) != 1 || math.Abs(cats[0]-0.4) > 1e-9 {
+		t.Fatalf("k=1 should return the mean: %v", cats)
+	}
+}
+
+// Property: BetaInc is a valid CDF (monotone, in [0,1]).
+func TestBetaIncMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.2 + 5*rng.Float64()
+		b := 0.2 + 5*rng.Float64()
+		prev := 0.0
+		for i := 0; i <= 20; i++ {
+			x := float64(i) / 20
+			v := BetaInc(a, b, x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

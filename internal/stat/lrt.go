@@ -1,0 +1,68 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LRT is the result of a likelihood ratio test of the branch-site
+// null H0 (ω2 = 1) against the alternative H1 (ω2 > 1).
+type LRT struct {
+	LnL0, LnL1 float64
+	// Statistic is 2(lnL1 − lnL0), clamped at 0 (a negative value can
+	// only arise from incomplete convergence of the null).
+	Statistic float64
+	// PValueChi2 is the p-value against χ²₁, the conservative
+	// reference CodeML's documentation recommends in practice.
+	PValueChi2 float64
+	// PValueMixture is the p-value against the boundary-corrected
+	// null, the 50:50 mixture of a point mass at 0 and χ²₁ (ω2 = 1
+	// lies on the boundary of the H1 parameter space).
+	PValueMixture float64
+}
+
+// NewLRT computes the branch-site likelihood ratio test from the two
+// optimized log-likelihoods.
+func NewLRT(lnL0, lnL1 float64) LRT {
+	stat := 2 * (lnL1 - lnL0)
+	if stat < 0 {
+		stat = 0
+	}
+	sf := ChiSquareSF(stat, 1)
+	mix := 0.5 * sf
+	if stat == 0 {
+		// The mixture puts probability ½ on exactly 0.
+		mix = 1
+	}
+	return LRT{
+		LnL0:          lnL0,
+		LnL1:          lnL1,
+		Statistic:     stat,
+		PValueChi2:    sf,
+		PValueMixture: mix,
+	}
+}
+
+// SignificantAt reports whether the conservative χ²₁ p-value falls
+// below alpha.
+func (l LRT) SignificantAt(alpha float64) bool {
+	return l.PValueChi2 < alpha
+}
+
+// String renders the test summary.
+func (l LRT) String() string {
+	return fmt.Sprintf("lnL0=%.6f lnL1=%.6f 2ΔlnL=%.4f p(χ²₁)=%.4g p(mix)=%.4g",
+		l.LnL0, l.LnL1, l.Statistic, l.PValueChi2, l.PValueMixture)
+}
+
+// RelativeDifference is the paper's accuracy metric (§IV-1):
+// D = |lnL − lnL̂| / |lnL|.
+func RelativeDifference(lnL, lnLHat float64) float64 {
+	if lnL == 0 {
+		if lnLHat == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(lnL-lnLHat) / math.Abs(lnL)
+}

@@ -1,0 +1,154 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaIncLowerKnownValues(t *testing.T) {
+	// P(1, x) = 1 − e^{−x}.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		got := GammaIncLower(1, x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1,%g) = %.15f, want %.15f", x, got, want)
+		}
+	}
+	// P(1/2, x) = erf(√x).
+	for _, x := range []float64{0.2, 1, 3} {
+		want := math.Erf(math.Sqrt(x))
+		got := GammaIncLower(0.5, x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(0.5,%g) = %.15f, want %.15f", x, got, want)
+		}
+	}
+	if GammaIncLower(2, 0) != 0 {
+		t.Fatal("P(a,0) should be 0")
+	}
+}
+
+func TestGammaIncLowerPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { GammaIncLower(0, 1) },
+		func() { GammaIncLower(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestChiSquareKnownCriticalValues(t *testing.T) {
+	// Classic table values.
+	cases := []struct {
+		x, df, cdf float64
+	}{
+		{3.841, 1, 0.95},
+		{6.635, 1, 0.99},
+		{5.991, 2, 0.95},
+		{7.815, 3, 0.95},
+		{2.706, 1, 0.90},
+	}
+	for _, c := range cases {
+		got := ChiSquareCDF(c.x, c.df)
+		if math.Abs(got-c.cdf) > 5e-4 {
+			t.Fatalf("χ²CDF(%g, df=%g) = %.5f, want %.3f", c.x, c.df, got, c.cdf)
+		}
+	}
+}
+
+func TestChiSquareCDFProperties(t *testing.T) {
+	if ChiSquareCDF(0, 1) != 0 || ChiSquareCDF(-3, 2) != 0 {
+		t.Fatal("CDF below 0 must be 0")
+	}
+	// Monotone nondecreasing in x.
+	f := func(a, b float64) bool {
+		x1, x2 := math.Abs(a), math.Abs(a)+math.Abs(b)
+		if math.IsNaN(x1) || math.IsInf(x2, 0) || x2 > 1e6 {
+			return true
+		}
+		return ChiSquareCDF(x2, 3) >= ChiSquareCDF(x1, 3)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// CDF + SF = 1.
+	for _, x := range []float64{0.1, 1, 4, 15} {
+		if math.Abs(ChiSquareCDF(x, 2)+ChiSquareSF(x, 2)-1) > 1e-12 {
+			t.Fatal("CDF + SF != 1")
+		}
+	}
+}
+
+func TestChiSquareQuantile(t *testing.T) {
+	for _, df := range []float64{1, 2, 5} {
+		for _, p := range []float64{0.05, 0.5, 0.9, 0.95, 0.99} {
+			x := ChiSquareQuantile(p, df)
+			if math.Abs(ChiSquareCDF(x, df)-p) > 1e-8 {
+				t.Fatalf("quantile inversion failed at p=%g df=%g: x=%g", p, df, x)
+			}
+		}
+	}
+	if ChiSquareQuantile(0, 1) != 0 {
+		t.Fatal("quantile(0) should be 0")
+	}
+	// The df=1, α=0.05 critical value is the famous 3.84.
+	if x := ChiSquareQuantile(0.95, 1); math.Abs(x-3.8415) > 1e-3 {
+		t.Fatalf("critical value %g, want 3.8415", x)
+	}
+}
+
+func TestNewLRT(t *testing.T) {
+	l := NewLRT(-1000, -995)
+	if math.Abs(l.Statistic-10) > 1e-12 {
+		t.Fatalf("statistic = %g", l.Statistic)
+	}
+	if math.Abs(l.PValueChi2-ChiSquareSF(10, 1)) > 1e-15 {
+		t.Fatal("χ² p-value wrong")
+	}
+	if math.Abs(l.PValueMixture-0.5*l.PValueChi2) > 1e-15 {
+		t.Fatal("mixture p-value should halve the χ² p-value for positive statistics")
+	}
+	if !l.SignificantAt(0.05) {
+		t.Fatal("2ΔlnL = 10 must be significant at 5%")
+	}
+	if l.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestNewLRTNegativeClamped(t *testing.T) {
+	l := NewLRT(-995, -1000) // H1 worse: numerical artifact
+	if l.Statistic != 0 {
+		t.Fatalf("statistic = %g, want 0", l.Statistic)
+	}
+	if l.PValueMixture != 1 {
+		t.Fatalf("mixture p at statistic 0 should be 1, got %g", l.PValueMixture)
+	}
+	if l.SignificantAt(0.05) {
+		t.Fatal("zero statistic cannot be significant")
+	}
+}
+
+func TestRelativeDifference(t *testing.T) {
+	// The paper's reported magnitudes, e.g. D = 9.8e-12.
+	if d := RelativeDifference(-1000, -1000); d != 0 {
+		t.Fatalf("identical lnL should give D=0, got %g", d)
+	}
+	d := RelativeDifference(-1000, -1000.001)
+	if math.Abs(d-1e-6) > 1e-12 {
+		t.Fatalf("D = %g, want 1e-6", d)
+	}
+	if !math.IsInf(RelativeDifference(0, 1), 1) {
+		t.Fatal("D with lnL=0 and different lnL̂ should be +Inf")
+	}
+	if RelativeDifference(0, 0) != 0 {
+		t.Fatal("D(0,0) should be 0")
+	}
+}
