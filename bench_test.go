@@ -319,6 +319,103 @@ func TestAccuracyHarness(t *testing.T) {
 	}
 }
 
+// BenchmarkParallelEngine contrasts the execution strategies on the
+// dataset iii shape: serial, the seed's class-level parallelism
+// (ceiling: one goroutine per site class, i.e. 4-way), and the
+// block-pool engine over (class × pattern-block) tiles at 1/2/4/8
+// workers. All strategies compute bit-identical log-likelihoods; only
+// the scheduling differs. The README records the measured table.
+func BenchmarkParallelEngine(b *testing.B) {
+	fx, err := bench.NewEvalFixture("iii", 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := core.EngineSlimBundled.LikConfig()
+	run := func(b *testing.B, cfg lik.Config) {
+		eng, err := fx.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		lens := eng.BranchLengths()
+		branch := eng.BranchIDs()[0]
+		eng.LogLikelihood()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lens[branch] *= 1.0000001
+			if err := eng.SetBranchLengths(lens); err != nil {
+				b.Fatal(err)
+			}
+			_ = eng.LogLikelihood()
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, base) })
+	b.Run("class-4way", func(b *testing.B) {
+		cfg := base
+		cfg.Parallel = true
+		run(b, cfg)
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("block-pool-%dw", workers), func(b *testing.B) {
+			cfg := base
+			cfg.Workers = workers
+			run(b, cfg)
+		})
+	}
+}
+
+// BenchmarkBatchDriver measures the multi-gene batch driver against
+// running the same genes back-to-back: shared workers, shared
+// eigendecomposition cache, pooled frequencies.
+func BenchmarkBatchDriver(b *testing.B) {
+	const nGenes = 4
+	genes := make([]core.Gene, nGenes)
+	for i := range genes {
+		tree, err := sim.RandomTree(sim.TreeConfig{Species: 6, MeanBranchLength: 0.15, Seed: int64(20 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aln, err := sim.Simulate(tree, codon.Universal, sim.SeqConfig{
+			Sites:  60,
+			Params: sim.TrueParams(),
+			Seed:   int64(70 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		genes[i] = core.Gene{Name: fmt.Sprintf("g%d", i), Alignment: aln, Tree: tree}
+	}
+	opts := core.Options{Engine: core.EngineSlim, MaxIterations: 2, Seed: 1}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range genes {
+				an, err := core.NewAnalysis(g.Alignment, g.Tree, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := an.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.RunBatch(genes, core.BatchOptions{
+				Options:          opts,
+				ShareFrequencies: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed != 0 {
+				b.Fatal("batch gene failed")
+			}
+		}
+	})
+}
+
 // BenchmarkBranchUpdate quantifies the O(depth) single-branch path
 // update against a full pruning pass — the design choice that makes
 // numerical branch-length gradients affordable (DESIGN.md,

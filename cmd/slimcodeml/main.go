@@ -6,15 +6,22 @@
 // Usage:
 //
 //	slimcodeml -seq aln.fasta -tree tree.nwk [flags]
+//	slimcodeml -seq g1.fasta,g2.fasta,... -tree tree.nwk [flags]   (batch)
 //
-// The output reports the H0 and H1 fits, the likelihood ratio test,
-// and the sites inferred to be under positive selection.
+// In single-gene mode the output reports the H0 and H1 fits, the
+// likelihood ratio test, and the sites inferred to be under positive
+// selection. Passing several comma-separated alignments switches to
+// the multi-gene batch driver: all genes are tested against the same
+// tree, fitted -jobs at a time, with every likelihood engine sharing
+// one persistent worker pool (-workers) and one eigendecomposition
+// cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/align"
@@ -24,7 +31,7 @@ import (
 
 func main() {
 	var (
-		seqPath  = flag.String("seq", "", "alignment file (FASTA or PHYLIP)")
+		seqPath  = flag.String("seq", "", "alignment file(s), comma-separated (FASTA or PHYLIP); two or more select batch mode")
 		treePath = flag.String("tree", "", "Newick tree file with one branch marked #1")
 		format   = flag.String("format", "auto", "alignment format: fasta, phylip or auto")
 		engine   = flag.String("engine", "slim", "engine: baseline, slim, slim-sym or slim-bundled")
@@ -32,35 +39,43 @@ func main() {
 		maxIter  = flag.Int("maxiter", 500, "maximum BFGS iterations per hypothesis")
 		seed     = flag.Int64("seed", 1, "seed for the starting parameter values")
 		alpha    = flag.Float64("alpha", 0.05, "significance level for the LRT")
-		beb      = flag.Int("beb", 0, "BEB grid size per axis (0 disables; 5 matches a light PAML grid)")
+		beb      = flag.Int("beb", 0, "BEB grid size per axis (0 disables; 5 matches a light PAML grid; single-gene mode only)")
 		m0start  = flag.Bool("m0start", false, "initialize branch lengths from an M0 pre-fit (Selectome-style)")
+		workers  = flag.Int("workers", 0, "block-pool likelihood workers (0 = serial engine; batch mode defaults to GOMAXPROCS)")
+		jobs     = flag.Int("jobs", 0, "genes fitted concurrently in batch mode (0 = GOMAXPROCS)")
+		shareFrq = flag.Bool("sharefreq", false, "batch mode: estimate one frequency vector from the pooled codon counts of all genes")
 	)
 	flag.Parse()
 	if *seqPath == "" || *treePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*seqPath, *treePath, *format, *engine, *freq, *maxIter, *seed, *alpha, *beb, *m0start); err != nil {
+	opts := core.Options{MaxIterations: *maxIter, Seed: *seed, M0Start: *m0start, Workers: *workers}
+	if err := fillEngineAndFreq(&opts, *engine, *freq); err != nil {
+		fmt.Fprintln(os.Stderr, "slimcodeml:", err)
+		os.Exit(1)
+	}
+
+	seqPaths := strings.Split(*seqPath, ",")
+	var err error
+	if len(seqPaths) > 1 {
+		if *beb > 0 {
+			fmt.Fprintln(os.Stderr, "slimcodeml: -beb applies to single-gene mode only; ignoring it for this batch")
+		}
+		err = runBatch(seqPaths, *treePath, *format, opts, *jobs, *workers, *shareFrq, *alpha)
+	} else {
+		if *jobs > 0 || *shareFrq {
+			fmt.Fprintln(os.Stderr, "slimcodeml: -jobs and -sharefreq apply to batch mode only; ignoring them for this single gene")
+		}
+		err = run(seqPaths[0], *treePath, *format, opts, *alpha, *beb)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "slimcodeml:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seqPath, treePath, format, engine, freq string, maxIter int, seed int64, alpha float64, bebGrid int, m0start bool) error {
-	a, err := readAlignment(seqPath, format)
-	if err != nil {
-		return err
-	}
-	treeData, err := os.ReadFile(treePath)
-	if err != nil {
-		return err
-	}
-	tree, err := newick.Parse(strings.TrimSpace(string(treeData)))
-	if err != nil {
-		return err
-	}
-
-	opts := core.Options{MaxIterations: maxIter, Seed: seed, M0Start: m0start}
+func fillEngineAndFreq(opts *core.Options, engine, freq string) error {
 	switch engine {
 	case "baseline":
 		opts.Engine = core.EngineBaseline
@@ -83,12 +98,37 @@ func run(seqPath, treePath, format, engine, freq string, maxIter int, seed int64
 	default:
 		return fmt.Errorf("unknown frequency model %q", freq)
 	}
+	return nil
+}
+
+func readTree(treePath string) (*newick.Tree, error) {
+	treeData, err := os.ReadFile(treePath)
+	if err != nil {
+		return nil, err
+	}
+	return newick.Parse(strings.TrimSpace(string(treeData)))
+}
+
+func run(seqPath, treePath, format string, opts core.Options, alpha float64, bebGrid int) error {
+	a, err := readAlignment(seqPath, format)
+	if err != nil {
+		return err
+	}
+	tree, err := readTree(treePath)
+	if err != nil {
+		return err
+	}
 
 	an, err := core.NewAnalysis(a, tree, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("SlimCodeML branch-site test (%s engine)\n", opts.Engine)
+	defer an.Close()
+	fmt.Printf("SlimCodeML branch-site test (%s engine", opts.Engine)
+	if opts.Workers > 0 {
+		fmt.Printf(", %d workers", opts.Workers)
+	}
+	fmt.Println(")")
 	fmt.Printf("alignment: %d sequences × %d codons (%d site patterns)\n",
 		a.NumSeqs(), a.Length()/3, an.NumPatterns())
 	fmt.Printf("tree: %d species, %d branches, foreground: %s\n\n",
@@ -138,6 +178,56 @@ func run(seqPath, treePath, format, engine, freq string, maxIter int, seed int64
 		}
 	}
 	fmt.Printf("\ntotal: %d iterations, %.2f s\n", res.TotalIterations, res.TotalRuntime.Seconds())
+	return nil
+}
+
+// runBatch tests every alignment against the same tree through the
+// multi-gene batch driver.
+func runBatch(seqPaths []string, treePath, format string, opts core.Options, jobs, workers int, shareFreq bool, alpha float64) error {
+	tree, err := readTree(treePath)
+	if err != nil {
+		return err
+	}
+	genes := make([]core.Gene, 0, len(seqPaths))
+	for _, p := range seqPaths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return fmt.Errorf("empty alignment path in -seq list")
+		}
+		a, err := readAlignment(p, format)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		genes = append(genes, core.Gene{Name: name, Alignment: a, Tree: tree})
+	}
+
+	fmt.Printf("SlimCodeML batch: %d genes, %s engine\n\n", len(genes), opts.Engine)
+	res, err := core.RunBatch(genes, core.BatchOptions{
+		Options:          opts,
+		Concurrency:      jobs,
+		PoolWorkers:      workers,
+		ShareFrequencies: shareFreq,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %14s %14s %10s %10s %9s\n", "gene", "lnL(H0)", "lnL(H1)", "2ΔlnL", "p(χ²₁)", "signif")
+	for _, g := range res.Genes {
+		if g.Err != nil {
+			fmt.Printf("%-20s ERROR: %v\n", g.Name, g.Err)
+			continue
+		}
+		r := g.Result
+		sig := ""
+		if r.LRT.SignificantAt(alpha) {
+			sig = "*"
+		}
+		fmt.Printf("%-20s %14.4f %14.4f %10.4f %10.3g %9s\n",
+			g.Name, r.H0.LnL, r.H1.LnL, r.LRT.Statistic, r.LRT.PValueChi2, sig)
+	}
+	fmt.Printf("\nbatch: %d genes (%d failed), %.2f s, decomposition cache %d hits / %d misses\n",
+		len(res.Genes), res.Failed, res.Runtime.Seconds(), res.CacheHits, res.CacheMisses)
 	return nil
 }
 

@@ -251,6 +251,122 @@ func TestCompressDistinguishesMissing(t *testing.T) {
 	}
 }
 
+// Table-driven edge cases for pattern compression: weights, pattern
+// counts and the site→pattern mapping must stay consistent on
+// degenerate and missing-data-heavy inputs.
+func TestCompressPatternWeights(t *testing.T) {
+	cases := []struct {
+		name        string
+		names       []string
+		seqs        []string
+		wantPats    int
+		wantWeights map[int]float64 // pattern index (first occurrence order) → weight
+	}{
+		{
+			name:     "all identical columns collapse to one pattern",
+			names:    []string{"A", "B"},
+			seqs:     []string{"ATGATGATGATG", "ATGATGATGATG"},
+			wantPats: 1,
+			wantWeights: map[int]float64{
+				0: 4,
+			},
+		},
+		{
+			name:     "all distinct columns keep weight one",
+			names:    []string{"A", "B"},
+			seqs:     []string{"ATGTTTCCCAAA", "ATGTTCCCGAAG"},
+			wantPats: 4,
+			wantWeights: map[int]float64{
+				0: 1, 1: 1, 2: 1, 3: 1,
+			},
+		},
+		{
+			name:     "all-missing columns merge",
+			names:    []string{"A", "B"},
+			seqs:     []string{"---ATG---", "---ATG---"},
+			wantPats: 2,
+			wantWeights: map[int]float64{
+				0: 2, // the two all-gap columns
+				1: 1,
+			},
+		},
+		{
+			name:     "missing position distinguishes patterns",
+			names:    []string{"A", "B"},
+			seqs:     []string{"ATG---ATG", "---ATGATG"},
+			wantPats: 3,
+			wantWeights: map[int]float64{
+				0: 1, 1: 1, 2: 1,
+			},
+		},
+		{
+			name:     "single sequence",
+			names:    []string{"A"},
+			seqs:     []string{"ATGATGTTT"},
+			wantPats: 2,
+			wantWeights: map[int]float64{
+				0: 2,
+				1: 1,
+			},
+		},
+		{
+			name:        "zero sites",
+			names:       []string{"A", "B"},
+			seqs:        []string{"", ""},
+			wantPats:    0,
+			wantWeights: map[int]float64{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := &Alignment{Names: tc.names, Seqs: tc.seqs}
+			ca, err := EncodeCodons(a, codon.Universal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := Compress(ca)
+			if p.NumPatterns() != tc.wantPats {
+				t.Fatalf("patterns = %d, want %d", p.NumPatterns(), tc.wantPats)
+			}
+			if p.NumSites() != ca.NumSites() {
+				t.Fatalf("sites = %d, want %d", p.NumSites(), ca.NumSites())
+			}
+			sum := 0.0
+			for _, w := range p.Weights {
+				if w < 1 {
+					t.Fatalf("pattern weight %g < 1", w)
+				}
+				sum += w
+			}
+			if sum != float64(ca.NumSites()) {
+				t.Fatalf("weights sum to %g, want %d", sum, ca.NumSites())
+			}
+			for at, want := range tc.wantWeights {
+				if p.Weights[at] != want {
+					t.Fatalf("pattern %d weight = %g, want %g", at, p.Weights[at], want)
+				}
+			}
+			// The mapping must reconstruct every original column, and
+			// recounting weights through it must agree.
+			recount := make([]float64, p.NumPatterns())
+			for k := 0; k < ca.NumSites(); k++ {
+				at := p.SiteToPattern[k]
+				recount[at]++
+				for s := range tc.names {
+					if p.Columns[at][s] != ca.Codons[s][k] {
+						t.Fatalf("site %d species %d decompression mismatch", k, s)
+					}
+				}
+			}
+			for at, w := range recount {
+				if w != p.Weights[at] {
+					t.Fatalf("pattern %d recounted weight %g != stored %g", at, w, p.Weights[at])
+				}
+			}
+		})
+	}
+}
+
 func TestCompressedCounts(t *testing.T) {
 	a := &Alignment{
 		Names: []string{"A", "B"},

@@ -132,3 +132,47 @@ func TestRunFig3Smallest(t *testing.T) {
 		t.Fatalf("no speedup measured: %+v", pts[0])
 	}
 }
+
+// The parallel sweep harness must time every strategy, and every
+// strategy must agree bit-for-bit on the likelihood it computes.
+func TestParallelSweep(t *testing.T) {
+	fx, err := NewEvalFixture("i", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.EngineSlimBundled.LikConfig()
+	sweep, err := RunParallelSweep(fx, base, []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Serial <= 0 || sweep.Class <= 0 || len(sweep.Points) != 2 {
+		t.Fatalf("incomplete sweep: %+v", sweep)
+	}
+	for _, p := range sweep.Points {
+		if p.Eval <= 0 || !(p.SpeedupVsClass > 0) {
+			t.Fatalf("bad point: %+v", p)
+		}
+	}
+
+	serial, err := fx.NewEngine(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.LogLikelihood()
+	par := base
+	par.Workers = 2
+	eng, err := fx.NewEngine(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if got := eng.LogLikelihood(); got != want {
+		t.Fatalf("block-pool lnL %0.17g != serial %0.17g", got, want)
+	}
+
+	var buf strings.Builder
+	PrintParallelSweep(&buf, sweep)
+	if !strings.Contains(buf.String(), "block-pool 2 workers") {
+		t.Fatalf("table missing block-pool row:\n%s", buf.String())
+	}
+}

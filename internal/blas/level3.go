@@ -186,6 +186,72 @@ func gemmTT(alpha float64, a, b, c *mat.Matrix) {
 	}
 }
 
+// DgemmNTRows computes rows [lo, hi) of C ← α·A·Bᵀ + βC, the
+// sub-range entry point the likelihood engine's pattern-block tiles
+// use: each block of site patterns (rows of A and C) is pushed through
+// the same transition matrix B independently.
+//
+// Unlike Dgemm's 2×2-tiled gemmNT, every output row is computed by an
+// identical per-row kernel whose floating-point operation order does
+// not depend on lo, hi, or which rows share a tile. Splitting the row
+// range across any number of concurrent calls therefore produces
+// results bit-identical to one full-range call — the property the
+// parallel engine's determinism guarantee rests on.
+func DgemmNTRows(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix, lo, hi int) {
+	m, k := a.Rows, a.Cols
+	n, kb := b.Rows, b.Cols
+	if k != kb {
+		panic("blas: DgemmNTRows inner dimension mismatch")
+	}
+	if c.Rows != m || c.Cols != n {
+		panic("blas: DgemmNTRows output dimension mismatch")
+	}
+	if lo < 0 || hi > m || lo > hi {
+		panic("blas: DgemmNTRows row range out of bounds")
+	}
+	for i := lo; i < hi; i++ {
+		crow := c.Row(i)
+		if beta == 0 {
+			for j := range crow {
+				crow[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range crow {
+				crow[j] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		arow, crow := a.Row(i), c.Row(i)
+		// Pair the rows of B (columns of C) so each loaded element of
+		// A serves two accumulators; the accumulation over p stays
+		// strictly sequential, keeping the row result independent of
+		// the surrounding range.
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			b0, b1 := b.Row(j), b.Row(j+1)
+			var s0, s1 float64
+			for p, av := range arow {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+			}
+			crow[j] += alpha * s0
+			crow[j+1] += alpha * s1
+		}
+		for ; j < n; j++ {
+			brow := b.Row(j)
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += alpha * s
+		}
+	}
+}
+
 // Dsyrk computes the symmetric rank-k update C ← α·A·Aᵀ + βC
 // (trans == false) or C ← α·Aᵀ·A + βC (trans == true). Only the lower
 // triangle is computed — roughly n³ flops for a square A, half of the

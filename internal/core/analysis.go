@@ -45,12 +45,12 @@ func NewAnalysis(a *align.Alignment, t *newick.Tree, opts Options) (*Analysis, e
 		return nil, err
 	}
 	pats := align.Compress(ca)
-	pi, err := estimateFrequencies(opts.Freq, pats)
+	pi, err := resolveFrequencies(&opts, pats)
 	if err != nil {
 		return nil, err
 	}
 
-	eng, err := lik.New(t, pats, ca.Names, opts.Engine.LikConfig())
+	eng, err := lik.New(t, pats, ca.Names, opts.likConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +66,10 @@ func NewAnalysis(a *align.Alignment, t *newick.Tree, opts Options) (*Analysis, e
 
 // Pi returns the equilibrium codon frequencies in use.
 func (an *Analysis) Pi() []float64 { return an.pi }
+
+// Close releases the analysis's engine-owned worker pool, if any
+// (Options.Workers > 0). Safe to call multiple times.
+func (an *Analysis) Close() { an.eng.Close() }
 
 // NumPatterns returns the number of compressed site patterns.
 func (an *Analysis) NumPatterns() int { return an.pats.NumPatterns() }

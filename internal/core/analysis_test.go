@@ -93,6 +93,9 @@ func TestFitImprovesLikelihood(t *testing.T) {
 }
 
 func TestH1FitsAtLeastAsWellAsH0(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-iteration H0+H1 fits in -short mode")
+	}
 	a, tr := smallDataset(t, 3, 30)
 	an, err := NewAnalysis(a, tr, Options{Engine: EngineSlim, MaxIterations: 200, Seed: 11})
 	if err != nil {

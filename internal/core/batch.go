@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/codon"
+	"repro/internal/lik"
+	"repro/internal/newick"
+)
+
+// Gene is one unit of a batch run: an alignment paired with a tree
+// carrying exactly one #1-marked foreground branch. Genome-scale
+// selection scans (paper §I-A, Selectome) are expressed naturally:
+// many genes each with their own tree, or — for a per-branch scan —
+// one alignment repeated with differently marked trees.
+type Gene struct {
+	Name      string
+	Alignment *align.Alignment
+	Tree      *newick.Tree
+}
+
+// BatchOptions configures RunBatch. The embedded Options apply to
+// every gene.
+type BatchOptions struct {
+	Options
+	// Concurrency is the number of genes fitted concurrently; 0
+	// selects min(GOMAXPROCS, #genes).
+	Concurrency int
+	// PoolWorkers sizes the worker pool shared by every gene's
+	// likelihood engine: 0 selects GOMAXPROCS, a negative value
+	// disables the shared pool (each gene then follows
+	// Options.Workers on its own).
+	PoolWorkers int
+	// ShareFrequencies estimates one equilibrium frequency vector from
+	// the pooled codon counts of all genes instead of per-gene
+	// estimates. Besides the usual pipeline rationale (one background
+	// composition for the whole genome), a shared π makes the batch's
+	// eigendecomposition cache effective across genes.
+	ShareFrequencies bool
+}
+
+// GeneResult is one gene's outcome; exactly one of Result and Err is
+// set.
+type GeneResult struct {
+	Name   string
+	Result *TestResult
+	Err    error
+}
+
+// BatchResult aggregates a batch run.
+type BatchResult struct {
+	Genes []GeneResult // in input order
+	// Failed counts genes whose analysis returned an error.
+	Failed int
+	// CacheHits / CacheMisses report the shared eigendecomposition
+	// cache's effectiveness.
+	CacheHits, CacheMisses int
+	Runtime                time.Duration
+}
+
+// RunBatch runs the full branch-site test on every gene, fitting up to
+// Concurrency genes at once while all likelihood engines execute their
+// (class × pattern-block) tiles on one shared persistent worker pool
+// and share one eigendecomposition cache. Per-gene results are
+// bit-identical to a sequential Analysis.Run with the same Options:
+// parallelism only reorders independent work, never the arithmetic.
+func RunBatch(genes []Gene, opts BatchOptions) (*BatchResult, error) {
+	if len(genes) == 0 {
+		return nil, fmt.Errorf("core: RunBatch needs at least one gene")
+	}
+	opts.fill()
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	if conc > len(genes) {
+		conc = len(genes)
+	}
+
+	geneOpts := opts.Options
+	if opts.PoolWorkers >= 0 {
+		pool := lik.NewPool(opts.PoolWorkers)
+		defer pool.Close()
+		geneOpts.pool = pool
+	}
+	cache := lik.NewDecompCache(4 * len(genes))
+	geneOpts.decomps = cache
+
+	if opts.ShareFrequencies {
+		pi, err := pooledFrequencies(genes, &geneOpts)
+		if err != nil {
+			return nil, err
+		}
+		geneOpts.Frequencies = pi
+	}
+
+	start := time.Now()
+	out := &BatchResult{Genes: make([]GeneResult, len(genes))}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	for i, g := range genes {
+		wg.Add(1)
+		go func(i int, g Gene) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := GeneResult{Name: g.Name}
+			an, err := NewAnalysis(g.Alignment, g.Tree, geneOpts)
+			if err != nil {
+				res.Err = fmt.Errorf("gene %s: %w", g.Name, err)
+			} else {
+				r, err := an.Run()
+				if err != nil {
+					res.Err = fmt.Errorf("gene %s: %w", g.Name, err)
+				} else {
+					res.Result = r
+				}
+				an.Close()
+			}
+			out.Genes[i] = res
+		}(i, g)
+	}
+	wg.Wait()
+
+	for _, g := range out.Genes {
+		if g.Err != nil {
+			out.Failed++
+		}
+	}
+	out.CacheHits, out.CacheMisses = cache.Stats()
+	out.Runtime = time.Since(start)
+	return out, nil
+}
+
+// pooledFrequencies estimates one frequency vector from the summed
+// codon counts of every gene, using the batch's Freq estimator.
+func pooledFrequencies(genes []Gene, opts *Options) ([]float64, error) {
+	gc := opts.Code
+	if opts.Freq == FreqUniform {
+		return codon.UniformFrequencies(gc), nil
+	}
+	codonCounts := make([]float64, gc.NumStates())
+	var nucCounts [3][4]float64
+	for _, g := range genes {
+		ca, err := align.EncodeCodons(g.Alignment, gc)
+		if err != nil {
+			return nil, fmt.Errorf("gene %s: %w", g.Name, err)
+		}
+		pats := align.Compress(ca)
+		switch opts.Freq {
+		case FreqF61:
+			for i, v := range pats.CountCodonsCompressed() {
+				codonCounts[i] += v
+			}
+		case FreqF3x4:
+			nc := pats.NucCountsByPositionCompressed()
+			for p := range nc {
+				for b := range nc[p] {
+					nucCounts[p][b] += nc[p][b]
+				}
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown frequency estimator %d", opts.Freq)
+		}
+	}
+	if opts.Freq == FreqF3x4 {
+		return codon.F3x4(gc, nucCounts)
+	}
+	return codon.F61(gc, codonCounts)
+}

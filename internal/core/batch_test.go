@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bsm"
+	"repro/internal/codon"
+	"repro/internal/newick"
+	"repro/internal/sim"
+)
+
+// batchGenes simulates n small independent genes, each with its own
+// tree and foreground branch.
+func batchGenes(t *testing.T, n int) []Gene {
+	t.Helper()
+	genes := make([]Gene, n)
+	for i := range genes {
+		tree, err := sim.RandomTree(sim.TreeConfig{Species: 5, MeanBranchLength: 0.2, Seed: int64(40 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aln, err := sim.Simulate(tree, codon.Universal, sim.SeqConfig{
+			Sites:  30,
+			Params: bsm.Params{Kappa: 2, Omega0: 0.2, Omega2: 3, P0: 0.5, P1: 0.3},
+			Seed:   int64(90 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		genes[i] = Gene{Name: string(rune('a' + i)), Alignment: aln, Tree: tree}
+	}
+	return genes
+}
+
+// The batch driver must reproduce sequential per-gene runs exactly:
+// shared workers and the shared decomposition cache reorder work but
+// never change arithmetic.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	genes := batchGenes(t, 2)
+	opts := Options{Engine: EngineSlim, MaxIterations: 5, Seed: 1}
+
+	want := make([]float64, len(genes))
+	for i, g := range genes {
+		an, err := NewAnalysis(g.Alignment, g.Tree, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := an.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.H1.LnL
+	}
+
+	batch, err := RunBatch(genes, BatchOptions{
+		Options:     opts,
+		Concurrency: 2,
+		PoolWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Failed != 0 {
+		t.Fatalf("batch reported %d failures", batch.Failed)
+	}
+	for i, g := range batch.Genes {
+		if g.Err != nil {
+			t.Fatalf("gene %s: %v", g.Name, g.Err)
+		}
+		if g.Name != genes[i].Name {
+			t.Fatalf("result %d out of order: %s", i, g.Name)
+		}
+		if g.Result.H1.LnL != want[i] {
+			t.Fatalf("gene %s: batch lnL %0.17g != sequential %0.17g",
+				g.Name, g.Result.H1.LnL, want[i])
+		}
+	}
+	if batch.Runtime <= 0 {
+		t.Fatal("runtime not recorded")
+	}
+}
+
+// Shared frequencies must hand every gene the same π vector and make
+// the decomposition cache effective across genes.
+func TestRunBatchSharedFrequencies(t *testing.T) {
+	genes := batchGenes(t, 3)
+	batch, err := RunBatch(genes, BatchOptions{
+		Options:          Options{Engine: EngineSlim, MaxIterations: 4, Seed: 1},
+		ShareFrequencies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Failed != 0 {
+		t.Fatalf("batch reported %d failures", batch.Failed)
+	}
+	for _, g := range batch.Genes {
+		if g.Result == nil || math.IsNaN(g.Result.H1.LnL) {
+			t.Fatalf("gene %s: missing result", g.Name)
+		}
+	}
+	// Every gene starts from the same seeded parameters on the same π,
+	// so at minimum the other genes' initial decompositions are cache
+	// hits.
+	if batch.CacheHits == 0 {
+		t.Fatalf("shared-frequency batch recorded no cache hits (misses=%d)", batch.CacheMisses)
+	}
+}
+
+// A failing gene must not poison the batch: its error is recorded and
+// the remaining genes complete.
+func TestRunBatchPartialFailure(t *testing.T) {
+	genes := batchGenes(t, 2)
+	// Tree without a foreground mark → NewAnalysis error.
+	bad, err := newick.Parse("(A:0.1,B:0.2,C:0.3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	genes = append(genes, Gene{
+		Name:      "bad",
+		Alignment: &align.Alignment{Names: []string{"A", "B", "C"}, Seqs: []string{"ATG", "ATG", "ATG"}},
+		Tree:      bad,
+	})
+	batch, err := RunBatch(genes, BatchOptions{
+		Options: Options{Engine: EngineSlim, MaxIterations: 3, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", batch.Failed)
+	}
+	if batch.Genes[2].Err == nil {
+		t.Fatal("bad gene did not record an error")
+	}
+	for _, g := range batch.Genes[:2] {
+		if g.Err != nil || g.Result == nil {
+			t.Fatalf("good gene %s failed: %v", g.Name, g.Err)
+		}
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	if _, err := RunBatch(nil, BatchOptions{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// The per-analysis Workers option must not change fit results either —
+// the end-to-end determinism guarantee at the Analysis level.
+func TestAnalysisWorkersBitIdentical(t *testing.T) {
+	genes := batchGenes(t, 1)
+	g := genes[0]
+	base := Options{Engine: EngineSlimBundled, MaxIterations: 4, Seed: 1}
+	an, err := NewAnalysis(g.Alignment, g.Tree, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := an.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := base
+	par.Workers = 4
+	par.BlockSize = 4
+	anP, err := NewAnalysis(g.Alignment, g.Tree, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anP.Close()
+	got, err := anP.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.H0.LnL != want.H0.LnL || got.H1.LnL != want.H1.LnL {
+		t.Fatalf("parallel fit diverged: H0 %0.17g vs %0.17g, H1 %0.17g vs %0.17g",
+			got.H0.LnL, want.H0.LnL, got.H1.LnL, want.H1.LnL)
+	}
+	if got.LRT.Statistic != want.LRT.Statistic {
+		t.Fatalf("LRT diverged: %0.17g vs %0.17g", got.LRT.Statistic, want.LRT.Statistic)
+	}
+}

@@ -32,6 +32,18 @@ import (
 	"repro/internal/optimize"
 )
 
+// likConfig maps the options to the likelihood engine configuration,
+// layering the parallel execution strategy and shared batch resources
+// (worker pool, decomposition cache) over the engine kind's kernels.
+func (o *Options) likConfig() lik.Config {
+	cfg := o.Engine.LikConfig()
+	cfg.Workers = o.Workers
+	cfg.BlockSize = o.BlockSize
+	cfg.Pool = o.pool
+	cfg.Decomps = o.decomps
+	return cfg
+}
+
 // EngineKind selects one of the benchmarked engine configurations.
 type EngineKind int
 
@@ -136,6 +148,22 @@ type Options struct {
 	// universal code. The state-space dimension follows the code
 	// (61 universal, 60 vertebrate mitochondrial).
 	Code *codon.GeneticCode
+	// Workers > 0 enables the block-pool parallel likelihood engine
+	// with that many persistent workers per analysis; 0 keeps the
+	// serial engine. Results are bit-identical either way.
+	Workers int
+	// BlockSize is the pattern count per worker tile (0 = engine
+	// default). The result does not depend on it.
+	BlockSize int
+	// Frequencies, when non-nil, fixes the equilibrium codon
+	// frequencies instead of estimating them with Freq — the batch
+	// driver's shared-frequency mode uses this to make cached
+	// eigendecompositions reusable across genes.
+	Frequencies []float64
+
+	// Shared batch resources, injected by RunBatch.
+	pool    *lik.Pool
+	decomps *lik.DecompCache
 }
 
 func (o *Options) fill() {

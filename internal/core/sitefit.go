@@ -86,11 +86,11 @@ func NewSiteAnalysis(a *align.Alignment, t *newick.Tree, opts Options) (*SiteAna
 		return nil, err
 	}
 	pats := align.Compress(ca)
-	pi, err := estimateFrequencies(opts.Freq, pats)
+	pi, err := resolveFrequencies(&opts, pats)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := lik.New(t, pats, ca.Names, opts.Engine.LikConfig())
+	eng, err := lik.New(t, pats, ca.Names, opts.likConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +102,24 @@ func NewSiteAnalysis(a *align.Alignment, t *newick.Tree, opts Options) (*SiteAna
 		pi:    pi,
 		eng:   eng,
 	}, nil
+}
+
+// Close releases the analysis's engine-owned worker pool, if any
+// (Options.Workers > 0). Safe to call multiple times.
+func (sa *SiteAnalysis) Close() { sa.eng.Close() }
+
+// resolveFrequencies returns the fixed Options.Frequencies when set
+// (validated against the code's state count), otherwise estimates them
+// from the patterns with the selected estimator.
+func resolveFrequencies(opts *Options, pats *align.Patterns) ([]float64, error) {
+	if opts.Frequencies != nil {
+		if len(opts.Frequencies) != pats.Code.NumStates() {
+			return nil, fmt.Errorf("core: %d fixed frequencies for %d codon states",
+				len(opts.Frequencies), pats.Code.NumStates())
+		}
+		return opts.Frequencies, nil
+	}
+	return estimateFrequencies(opts.Freq, pats)
 }
 
 // estimateFrequencies applies the selected CodonFreq estimator to the

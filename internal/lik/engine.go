@@ -12,11 +12,27 @@
 //     matrix-matrix product (BLAS level 3, the paper's rule of thumb
 //     and stated future optimization).
 //
+// Orthogonally to the apply mode, three parallel execution strategies
+// are available (§V-B, the step toward the fully parallel FastCodeML):
+//
+//   - serial — one goroutine walks every class over every pattern;
+//   - class — one goroutine per site class (at most 4-way);
+//   - block-pool — a persistent worker Pool executes
+//     (class × pattern-block) tiles: the compressed pattern range is
+//     split into cache-sized blocks and every kernel operates on
+//     sub-ranges. Per-block contributions are combined by a
+//     deterministic serial reduction, so the result is bit-identical
+//     to the serial path for any worker count and block size.
+//
 // The engine caches one "message" per branch and site class — the
 // child's conditional probability vector propagated through the
 // branch's transition matrix — so that perturbing a single branch
 // length (as the optimizer's numerical gradient does for every branch)
 // only recomputes the path from that branch to the root.
+//
+// An Engine is not safe for concurrent use; concurrency lives inside
+// LogLikelihood / BranchLogLikelihood (and across engines sharing a
+// Pool).
 package lik
 
 import (
@@ -58,6 +74,11 @@ const (
 	ApplyBundled
 )
 
+// DefaultBlockSize is the default pattern count per worker tile: 64
+// patterns × 61 states × 8 bytes ≈ 30 KiB per conditional matrix,
+// sized so a tile's working set stays L1/L2-resident.
+const DefaultBlockSize = 64
+
 // Config selects the execution strategy of an Engine.
 type Config struct {
 	Kernel  KernelTier
@@ -67,16 +88,33 @@ type Config struct {
 	// vectors when their maximum drops below it; zero selects the
 	// default 1e-100.
 	ScaleThreshold float64
-	// Parallel prunes the four site classes concurrently — the first
-	// step toward the parallel FastCodeML the paper announces as
-	// future work (§V-B). The result is bit-identical to the serial
-	// path because classes only interact at the root combination.
+	// Parallel prunes the four site classes concurrently — the seed
+	// engine's class-level parallelism, kept as a comparison point.
+	// Superseded by Workers/Pool, which parallelize over
+	// (class × pattern-block) tiles instead of classes only.
 	Parallel bool
+	// Workers > 0 selects the block-pool engine with an engine-owned
+	// pool of that many persistent workers (call Close to release
+	// them). Ignored when Pool is set.
+	Workers int
+	// Pool, when non-nil, runs the engine's tiles on a shared worker
+	// pool instead of an engine-owned one — the multi-gene batch
+	// driver points every gene's engine at one pool.
+	Pool *Pool
+	// BlockSize is the number of patterns per tile in block-pool mode;
+	// zero selects DefaultBlockSize. The result does not depend on it.
+	BlockSize int
+	// Decomps, when non-nil, caches eigendecompositions across
+	// SetModel calls and across engines sharing the cache.
+	Decomps *DecompCache
 }
 
 func (c *Config) fill() {
 	if c.ScaleThreshold == 0 {
 		c.ScaleThreshold = 1e-100
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultBlockSize
 	}
 }
 
@@ -98,6 +136,11 @@ type nodeInfo struct {
 	depth      int // edges from root
 }
 
+// blockRange is one pattern-block tile: patterns [lo, hi).
+type blockRange struct {
+	lo, hi int
+}
+
 // Engine evaluates the branch-site log-likelihood on a fixed topology
 // and alignment. It is stateful: SetModel and SetBranchLengths update
 // the model; LogLikelihood runs a full pruning pass;
@@ -111,6 +154,12 @@ type Engine struct {
 	nodes    []nodeInfo // post-order; index == id
 	rootID   int
 	maxDepth int
+
+	// Block-pool execution: blocks partitions [0, npat); pool is the
+	// engine-owned or shared worker pool (nil → no block parallelism).
+	blocks   []blockRange
+	pool     *Pool
+	ownsPool bool
 
 	// leafCodon[leafRow][pattern] — sense index or align.Missing.
 	leafCodon [][]int
@@ -139,14 +188,29 @@ type Engine struct {
 
 	// Scratch for BranchLogLikelihood: scrMsg/scrMsgScale hold the
 	// perturbed message travelling up the path, scrMsg2/scrScale2 the
-	// next level (ping-pong), scrPartial the node partial being formed.
-	scrTrans    []*mat.Matrix
-	scrMsg      []*mat.Matrix
-	scrMsg2     []*mat.Matrix
-	scrPartial  []*mat.Matrix
-	scrMsgScale [][]float64
-	scrScale2   [][]float64
-	vecScratch  [][]float64
+	// next level (tiles alternate between the pair without mutating
+	// engine state), scrPartial the node partial being formed and the
+	// root partial at the end of the walk; scrRootScale is the fixed
+	// destination of the root scale so its location does not depend on
+	// the path's parity.
+	scrTrans     []*mat.Matrix
+	scrMsg       []*mat.Matrix
+	scrMsg2      []*mat.Matrix
+	scrPartial   []*mat.Matrix
+	scrMsgScale  [][]float64
+	scrScale2    [][]float64
+	scrRootScale [][]float64
+	vecScratch   [][]float64
+
+	// tileScratch[c*len(blocks)+b] is the per-tile n-vector scratch of
+	// the SYMV apply; block-indexed tasks (the branch path walk) use
+	// the first numClasses-agnostic stripe tileScratch[b].
+	tileScratch [][]float64
+
+	// siteLnL[p] is pattern p's weighted log-likelihood contribution,
+	// filled per block and reduced serially so the total is identical
+	// for every execution strategy.
+	siteLnL []float64
 
 	stats Stats
 }
@@ -229,7 +293,38 @@ func New(t *newick.Tree, pats *align.Patterns, names []string, cfg Config) (*Eng
 		}
 	}
 
+	// Pattern-block tiles and the worker pool.
+	for lo := 0; lo < e.npat; lo += cfg.BlockSize {
+		hi := lo + cfg.BlockSize
+		if hi > e.npat {
+			hi = e.npat
+		}
+		e.blocks = append(e.blocks, blockRange{lo: lo, hi: hi})
+	}
+	if len(e.blocks) == 0 {
+		e.blocks = []blockRange{{0, 0}}
+	}
+	switch {
+	case cfg.Pool != nil:
+		e.pool = cfg.Pool
+	case cfg.Workers > 0:
+		e.pool = NewPool(cfg.Workers)
+		e.ownsPool = true
+	}
+	e.siteLnL = make([]float64, e.npat)
+
 	return e, nil
+}
+
+// Close releases the engine-owned worker pool, if any. Engines using a
+// shared Pool (Config.Pool) leave it running; engines without a pool
+// need no Close. Safe to call multiple times.
+func (e *Engine) Close() {
+	if e.ownsPool {
+		e.pool.Close()
+		e.ownsPool = false
+		e.pool = nil
+	}
 }
 
 // ensureBuffers (re)allocates the per-class and per-slot buffers when
@@ -257,6 +352,7 @@ func (e *Engine) ensureBuffers(numClasses, numSlots int) {
 	e.scrPartial = make([]*mat.Matrix, numClasses)
 	e.scrMsgScale = make([][]float64, numClasses)
 	e.scrScale2 = make([][]float64, numClasses)
+	e.scrRootScale = make([][]float64, numClasses)
 	e.vecScratch = make([][]float64, numClasses)
 	for c := 0; c < numClasses; c++ {
 		e.msg[c] = make([]*mat.Matrix, len(e.nodes))
@@ -270,7 +366,12 @@ func (e *Engine) ensureBuffers(numClasses, numSlots int) {
 		e.scrPartial[c] = mat.New(e.npat, e.n)
 		e.scrMsgScale[c] = make([]float64, e.npat)
 		e.scrScale2[c] = make([]float64, e.npat)
+		e.scrRootScale[c] = make([]float64, e.npat)
 		e.vecScratch[c] = make([]float64, e.n)
+	}
+	e.tileScratch = make([][]float64, numClasses*len(e.blocks))
+	for i := range e.tileScratch {
+		e.tileScratch[i] = make([]float64, e.n)
 	}
 }
 
@@ -301,7 +402,8 @@ func (e *Engine) Stats() Stats { return e.stats }
 // SetModel installs a site-class model, rebuilding the per-slot
 // eigendecompositions (deduplicated by rate-matrix pointer, so an H0
 // model whose ω2 slot aliases ω1 costs one decomposition less, as in
-// CodeML) and invalidating every cached transition matrix.
+// CodeML, and looked up in Config.Decomps when a cache is attached)
+// and invalidating every cached transition matrix.
 func (e *Engine) SetModel(m Model) error {
 	if m.GeneticCode().NumStates() != e.n {
 		return fmt.Errorf("lik: model has %d states, engine %d", m.GeneticCode().NumStates(), e.n)
@@ -321,13 +423,23 @@ func (e *Engine) SetModel(m Model) error {
 			e.decomps[slot] = d
 			continue
 		}
-		d, err := expm.Decompose(rate.S, rate.Pi)
-		if err != nil {
-			return err
+		var d *expm.Decomposition
+		if e.cfg.Decomps != nil {
+			d = e.cfg.Decomps.Get(rate)
+		}
+		if d == nil {
+			var err error
+			d, err = expm.Decompose(rate.S, rate.Pi)
+			if err != nil {
+				return err
+			}
+			e.stats.Eigendecompositions++
+			if e.cfg.Decomps != nil {
+				e.cfg.Decomps.Put(rate, d)
+			}
 		}
 		seen[rate] = d
 		e.decomps[slot] = d
-		e.stats.Eigendecompositions++
 	}
 	if e.ws == nil {
 		e.ws = e.decomps[0].NewWorkspace()
@@ -425,19 +537,34 @@ func (e *Engine) LogLikelihood() float64 {
 	}
 	e.refreshTransitions()
 	e.stats.FullEvaluations++
-	if e.cfg.Parallel {
+	switch {
+	case e.pool != nil:
+		// Block-pool: one task per (class × pattern-block) tile.
+		nb := len(e.blocks)
+		tasks := make([]func(), 0, e.numClasses*nb)
+		for c := 0; c < e.numClasses; c++ {
+			for bi, blk := range e.blocks {
+				c, blk, scratch := c, blk, e.tileScratch[c*nb+bi]
+				tasks = append(tasks, func() {
+					e.pruneClassRange(c, blk.lo, blk.hi, scratch)
+				})
+			}
+		}
+		e.pool.Run(tasks)
+	case e.cfg.Parallel:
+		// Legacy class parallelism: at most numClasses goroutines.
 		var wg sync.WaitGroup
 		for c := 0; c < e.numClasses; c++ {
 			wg.Add(1)
 			go func(c int) {
 				defer wg.Done()
-				e.pruneClass(c)
+				e.pruneClassRange(c, 0, e.npat, e.vecScratch[c])
 			}(c)
 		}
 		wg.Wait()
-	} else {
+	default:
 		for c := 0; c < e.numClasses; c++ {
-			e.pruneClass(c)
+			e.pruneClassRange(c, 0, e.npat, e.vecScratch[c])
 		}
 	}
 	partials := make([]*mat.Matrix, e.numClasses)
@@ -449,35 +576,38 @@ func (e *Engine) LogLikelihood() float64 {
 	return e.combineRoot(partials, scales)
 }
 
-// pruneClass recomputes all messages of one site class bottom-up and
-// leaves the root partial in msg[class][root].
-func (e *Engine) pruneClass(c int) {
+// pruneClassRange recomputes the messages of one site class for the
+// patterns [lo, hi) bottom-up and leaves the root partial rows in
+// msg[class][root]. Ranges of the same class are independent, so any
+// tiling of the pattern range may run concurrently.
+func (e *Engine) pruneClassRange(c, lo, hi int, scratch []float64) {
 	for v := 0; v < len(e.nodes); v++ {
 		nd := &e.nodes[v]
 		if v == e.rootID {
-			e.computePartial(c, nd, e.msg[c][v], e.scale[c][v], nil, nil, -1)
+			e.computePartial(c, nd, e.msg[c][v], e.scale[c][v], nil, nil, -1, lo, hi)
 			continue
 		}
 		w := e.model.RateSlotFor(c, nd.foreground)
 		if nd.leafRow >= 0 {
-			e.leafMessage(e.trans[v][w], nd.leafRow, e.msg[c][v])
-			zero(e.scale[c][v])
+			e.leafMessage(e.trans[v][w], nd.leafRow, e.msg[c][v], lo, hi)
+			zero(e.scale[c][v][lo:hi])
 			continue
 		}
 		// Internal: partial into scratch, then propagate.
-		e.computePartial(c, nd, e.scrPartial[c], e.scale[c][v], nil, nil, -1)
-		e.applyBranch(e.trans[v][w], e.scrPartial[c], e.msg[c][v], e.vecScratch[c])
+		e.computePartial(c, nd, e.scrPartial[c], e.scale[c][v], nil, nil, -1, lo, hi)
+		e.applyBranch(e.trans[v][w], e.scrPartial[c], e.msg[c][v], scratch, lo, hi)
 	}
 }
 
-// computePartial forms the conditional partial of an internal node as
-// the element-wise product of its children's messages, accumulating
-// and applying scaling. If override is non-nil it replaces the message
-// (and scale) of child overrideChild — used by the path update.
-// dstScale must not alias overrideScale or any child's stored scale.
-func (e *Engine) computePartial(c int, nd *nodeInfo, dst *mat.Matrix, dstScale []float64, override *mat.Matrix, overrideScale []float64, overrideChild int) {
+// computePartial forms the conditional partial of an internal node for
+// patterns [lo, hi) as the element-wise product of its children's
+// messages, accumulating and applying scaling. If override is non-nil
+// it replaces the message (and scale) of child overrideChild — used by
+// the path update. dstScale must not alias overrideScale or any
+// child's stored scale.
+func (e *Engine) computePartial(c int, nd *nodeInfo, dst *mat.Matrix, dstScale []float64, override *mat.Matrix, overrideScale []float64, overrideChild, lo, hi int) {
 	first := true
-	zero(dstScale)
+	zero(dstScale[lo:hi])
 	for _, ch := range nd.children {
 		src := e.msg[c][ch]
 		srcScale := e.scale[c][ch]
@@ -486,12 +616,14 @@ func (e *Engine) computePartial(c int, nd *nodeInfo, dst *mat.Matrix, dstScale [
 			srcScale = overrideScale
 		}
 		if first {
-			dst.CopyFrom(src)
-			copy(dstScale, srcScale)
+			for p := lo; p < hi; p++ {
+				copy(dst.Row(p), src.Row(p))
+			}
+			copy(dstScale[lo:hi], srcScale[lo:hi])
 			first = false
 			continue
 		}
-		for p := 0; p < e.npat; p++ {
+		for p := lo; p < hi; p++ {
 			drow := dst.Row(p)
 			srow := src.Row(p)
 			for i := range drow {
@@ -502,7 +634,7 @@ func (e *Engine) computePartial(c int, nd *nodeInfo, dst *mat.Matrix, dstScale [
 	}
 	// Underflow guard: rescale patterns whose maximum has shrunk below
 	// the threshold.
-	for p := 0; p < e.npat; p++ {
+	for p := lo; p < hi; p++ {
 		row := dst.Row(p)
 		max := mat.VecMax(row)
 		if max > 0 && max < e.cfg.ScaleThreshold {
@@ -515,15 +647,15 @@ func (e *Engine) computePartial(c int, nd *nodeInfo, dst *mat.Matrix, dstScale [
 	}
 }
 
-// leafMessage writes the message of a leaf branch directly from the
-// transition matrix columns: P·e_k is column k of P (and for the
-// symmetric kernel, M·(Π∘e_k) = π_k·column k of M). Missing data
-// yields the all-ones vector.
-func (e *Engine) leafMessage(tm *mat.Matrix, leafRow int, dst *mat.Matrix) {
+// leafMessage writes the message rows [lo, hi) of a leaf branch
+// directly from the transition matrix columns: P·e_k is column k of P
+// (and for the symmetric kernel, M·(Π∘e_k) = π_k·column k of M).
+// Missing data yields the all-ones vector.
+func (e *Engine) leafMessage(tm *mat.Matrix, leafRow int, dst *mat.Matrix, lo, hi int) {
 	codons := e.leafCodon[leafRow]
 	pi := e.pi
 	symv := e.cfg.Apply == ApplyPerSiteSYMV
-	for p := 0; p < e.npat; p++ {
+	for p := lo; p < hi; p++ {
 		drow := dst.Row(p)
 		k := codons[p]
 		if k < 0 {
@@ -545,24 +677,26 @@ func (e *Engine) leafMessage(tm *mat.Matrix, leafRow int, dst *mat.Matrix) {
 	}
 }
 
-// applyBranch propagates a partial through a branch's transition
-// matrix (or symmetric kernel) according to the configured apply mode,
-// writing one message row per pattern.
-func (e *Engine) applyBranch(tm *mat.Matrix, partial, dst *mat.Matrix, scratch []float64) {
+// applyBranch propagates the partial rows [lo, hi) through a branch's
+// transition matrix (or symmetric kernel) according to the configured
+// apply mode, writing one message row per pattern. Every mode works
+// row-by-row with a fixed per-row operation order, so any tiling of
+// the pattern range produces bit-identical rows.
+func (e *Engine) applyBranch(tm *mat.Matrix, partial, dst *mat.Matrix, scratch []float64, lo, hi int) {
 	switch e.cfg.Apply {
 	case ApplyPerSiteGEMV:
 		if e.cfg.Kernel == TierNaive {
-			for p := 0; p < e.npat; p++ {
+			for p := lo; p < hi; p++ {
 				blas.NaiveGemv(false, 1, tm, partial.Row(p), 0, dst.Row(p))
 			}
 		} else {
-			for p := 0; p < e.npat; p++ {
+			for p := lo; p < hi; p++ {
 				blas.Dgemv(false, 1, tm, partial.Row(p), 0, dst.Row(p))
 			}
 		}
 	case ApplyPerSiteSYMV:
 		pi := e.pi
-		for p := 0; p < e.npat; p++ {
+		for p := lo; p < hi; p++ {
 			src := partial.Row(p)
 			for i := range scratch {
 				scratch[i] = pi[i] * src[i]
@@ -570,14 +704,14 @@ func (e *Engine) applyBranch(tm *mat.Matrix, partial, dst *mat.Matrix, scratch [
 			blas.Dsymv(1, tm, scratch, 0, dst.Row(p))
 		}
 	case ApplyBundled:
-		// dst[p][i] = Σ_j partial[p][j]·P[i][j]: one GEMM over all
-		// patterns (BLAS-3 bundling).
-		blas.Dgemm(false, true, 1, partial, tm, 0, dst)
+		// dst[p][i] = Σ_j partial[p][j]·P[i][j]: one row-ranged GEMM
+		// over the block's patterns (BLAS-3 bundling).
+		blas.DgemmNTRows(1, partial, tm, 0, dst, lo, hi)
 	default:
 		panic(fmt.Sprintf("lik: unknown apply mode %d", e.cfg.Apply))
 	}
 	// Clamp rounding negatives so mixtures stay non-negative.
-	for p := 0; p < e.npat; p++ {
+	for p := lo; p < hi; p++ {
 		row := dst.Row(p)
 		for i, v := range row {
 			if v < 0 {
@@ -588,15 +722,38 @@ func (e *Engine) applyBranch(tm *mat.Matrix, partial, dst *mat.Matrix, scratch [
 }
 
 // combineRoot folds the per-class root partials into the total
-// log-likelihood: per pattern, log Σ_c prop_c·exp(scale_c)·(πᵀv_c)
-// computed with a log-sum-exp over classes, then weighted over
-// patterns.
+// log-likelihood. Per-pattern contributions are computed (in parallel
+// over pattern blocks when a pool is attached) into siteLnL, then
+// summed by one serial in-order reduction — the deterministic
+// combination that keeps every execution strategy bit-identical.
 func (e *Engine) combineRoot(partials []*mat.Matrix, scales [][]float64) float64 {
+	if e.pool != nil && len(e.blocks) > 1 {
+		tasks := make([]func(), len(e.blocks))
+		for bi, blk := range e.blocks {
+			blk := blk
+			tasks[bi] = func() {
+				e.combineRootRange(partials, scales, blk.lo, blk.hi)
+			}
+		}
+		e.pool.Run(tasks)
+	} else {
+		e.combineRootRange(partials, scales, 0, e.npat)
+	}
+	total := 0.0
+	for _, v := range e.siteLnL {
+		total += v
+	}
+	return total
+}
+
+// combineRootRange fills siteLnL for patterns [lo, hi): per pattern,
+// weight · log Σ_c prop_c·exp(scale_c)·(πᵀv_c) computed with a
+// log-sum-exp over classes.
+func (e *Engine) combineRootRange(partials []*mat.Matrix, scales [][]float64, lo, hi int) {
 	props := e.props
 	pi := e.pi
-	total := 0.0
 	classLog := make([]float64, e.numClasses)
-	for p := 0; p < e.npat; p++ {
+	for p := lo; p < hi; p++ {
 		maxLog := math.Inf(-1)
 		for c := 0; c < e.numClasses; c++ {
 			dot := blas.Ddot(pi, partials[c].Row(p))
@@ -610,15 +767,15 @@ func (e *Engine) combineRoot(partials []*mat.Matrix, scales [][]float64) float64
 			}
 		}
 		if math.IsInf(maxLog, -1) {
-			return math.Inf(-1)
+			e.siteLnL[p] = math.Inf(-1)
+			continue
 		}
 		sum := 0.0
 		for c := 0; c < e.numClasses; c++ {
 			sum += math.Exp(classLog[c] - maxLog)
 		}
-		total += e.weights[p] * (maxLog + math.Log(sum))
+		e.siteLnL[p] = e.weights[p] * (maxLog + math.Log(sum))
 	}
-	return total
 }
 
 // BranchLogLikelihood returns the log-likelihood with branch v set to
@@ -637,42 +794,67 @@ func (e *Engine) BranchLogLikelihood(v int, t float64) float64 {
 	e.stats.BranchEvaluations++
 	e.buildTransition(v, t, e.scrTrans)
 
-	// Recompute v's message with the perturbed transition matrix.
+	if e.pool != nil && len(e.blocks) > 1 {
+		tasks := make([]func(), len(e.blocks))
+		for bi, blk := range e.blocks {
+			blk, scratch := blk, e.tileScratch[bi]
+			tasks[bi] = func() {
+				e.branchWalkRange(v, blk.lo, blk.hi, scratch)
+			}
+		}
+		e.pool.Run(tasks)
+	} else {
+		e.branchWalkRange(v, 0, e.npat, e.vecScratch[0])
+	}
+
+	rootPartials := make([]*mat.Matrix, e.numClasses)
+	rootScales := make([][]float64, e.numClasses)
+	for c := 0; c < e.numClasses; c++ {
+		rootPartials[c] = e.scrPartial[c]
+		rootScales[c] = e.scrRootScale[c]
+	}
+	return e.combineRoot(rootPartials, rootScales)
+}
+
+// branchWalkRange recomputes branch v's message from the perturbed
+// transition matrix for patterns [lo, hi) and walks the path to the
+// root, overriding the path child's message at every level. The walk
+// alternates between the scrMsg/scrMsg2 buffer pair using local
+// references only — every tile performs the same number of
+// alternations, so concurrent tiles stay aligned without mutating
+// engine state — and deposits the root partial rows in scrPartial and
+// the root scale in scrRootScale.
+func (e *Engine) branchWalkRange(v, lo, hi int, scratch []float64) {
 	for c := 0; c < e.numClasses; c++ {
 		nd := &e.nodes[v]
 		w := e.model.RateSlotFor(c, nd.foreground)
+		msg, msc := e.scrMsg[c], e.scrMsgScale[c]
+		alt, asc := e.scrMsg2[c], e.scrScale2[c]
 		if nd.leafRow >= 0 {
-			e.leafMessage(e.scrTrans[w], nd.leafRow, e.scrMsg[c])
-			zero(e.scrMsgScale[c])
+			e.leafMessage(e.scrTrans[w], nd.leafRow, msg, lo, hi)
+			zero(msc[lo:hi])
 		} else {
 			// partial(v) from the stored children messages; the
 			// message inherits the partial's scale.
-			e.computePartial(c, nd, e.scrPartial[c], e.scrMsgScale[c], nil, nil, -1)
-			e.applyBranch(e.scrTrans[w], e.scrPartial[c], e.scrMsg[c], e.vecScratch[c])
+			e.computePartial(c, nd, e.scrPartial[c], msc, nil, nil, -1, lo, hi)
+			e.applyBranch(e.scrTrans[w], e.scrPartial[c], msg, scratch, lo, hi)
 		}
-	}
 
-	// Walk the path to the root, overriding the path child's message.
-	child := v
-	rootPartials := make([]*mat.Matrix, e.numClasses)
-	rootScales := make([][]float64, e.numClasses)
-	for u := e.nodes[v].parent; u >= 0; u = e.nodes[u].parent {
-		nd := &e.nodes[u]
-		for c := 0; c < e.numClasses; c++ {
-			e.computePartial(c, nd, e.scrPartial[c], e.scrScale2[c], e.scrMsg[c], e.scrMsgScale[c], child)
+		child := v
+		for u := e.nodes[v].parent; u >= 0; u = e.nodes[u].parent {
+			und := &e.nodes[u]
 			if u == e.rootID {
-				rootPartials[c] = e.scrPartial[c]
-				rootScales[c] = e.scrScale2[c]
-				continue
+				e.computePartial(c, und, e.scrPartial[c], e.scrRootScale[c], msg, msc, child, lo, hi)
+				break
 			}
-			w := e.model.RateSlotFor(c, nd.foreground)
-			e.applyBranch(e.trans[u][w], e.scrPartial[c], e.scrMsg2[c], e.vecScratch[c])
-			e.scrMsg[c], e.scrMsg2[c] = e.scrMsg2[c], e.scrMsg[c]
-			e.scrMsgScale[c], e.scrScale2[c] = e.scrScale2[c], e.scrMsgScale[c]
+			uw := e.model.RateSlotFor(c, und.foreground)
+			e.computePartial(c, und, e.scrPartial[c], asc, msg, msc, child, lo, hi)
+			e.applyBranch(e.trans[u][uw], e.scrPartial[c], alt, scratch, lo, hi)
+			msg, alt = alt, msg
+			msc, asc = asc, msc
+			child = u
 		}
-		child = u
 	}
-	return e.combineRoot(rootPartials, rootScales)
 }
 
 func zero(v []float64) {

@@ -1,0 +1,215 @@
+package lik
+
+import (
+	"container/list"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/codon"
+	"repro/internal/expm"
+)
+
+// Pool is a persistent set of worker goroutines that executes the
+// engine's (class × pattern-block) tiles — the decomposition of the
+// dominant likelihood cost into independent work units that takes the
+// engine from the seed's 4-way class parallelism toward the fully
+// parallel FastCodeML the paper announces (§V-B).
+//
+// A Pool may be shared by any number of engines, including engines
+// evaluating concurrently (the multi-gene batch driver in
+// internal/core runs every gene's tiles through one shared pool).
+// Tiles write to disjoint buffers and every reduction is performed
+// serially by the submitting engine, so results are bit-identical for
+// any worker count and any interleaving.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	close   sync.Once
+}
+
+// NewPool starts a pool with the given number of worker goroutines;
+// workers <= 0 selects GOMAXPROCS. Call Close to release the workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		// Buffer one pending task per worker so a submitting engine
+		// only falls back to inline execution once the pool is
+		// saturated.
+		tasks: make(chan func(), workers),
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// NumWorkers returns the pool's worker count.
+func (p *Pool) NumWorkers() int { return p.workers }
+
+// Close stops the workers once every already-submitted task has
+// finished. Close is idempotent; Run must not be called after Close.
+func (p *Pool) Close() {
+	p.close.Do(func() { close(p.tasks) })
+}
+
+// Run executes the tasks and blocks until all have completed. When
+// every worker is busy — e.g. several engines sharing the pool — the
+// submitting goroutine executes tasks inline instead of queueing
+// unboundedly, which both bounds memory and recruits the caller's CPU.
+func (p *Pool) Run(tasks []func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, f := range tasks {
+		f := f
+		wrapped := func() {
+			defer wg.Done()
+			f()
+		}
+		select {
+		case p.tasks <- wrapped:
+		default:
+			wrapped()
+		}
+	}
+	wg.Wait()
+}
+
+// decompKey identifies a rate matrix by its exact parameters: κ, ω,
+// and a fingerprint of the frequency vector π (whose full contents are
+// verified on lookup, so a fingerprint collision degrades to a cache
+// miss, never a wrong decomposition).
+type decompKey struct {
+	piHash       uint64
+	kappa, omega float64
+}
+
+type decompEntry struct {
+	key decompKey
+	pi  []float64
+	d   *expm.Decomposition
+}
+
+// DecompCache memoizes eigendecompositions across SetModel calls and
+// across engines. The optimizer's finite-difference gradient re-installs
+// the center parameter vector after every model-parameter probe, so
+// without a cache each gradient evaluation repeats the center's
+// eigendecompositions; with it they are looked up. The multi-gene
+// batch driver shares one cache over all genes (sharing frequencies
+// across genes makes it effective there).
+//
+// Cached *expm.Decomposition values are immutable after construction
+// and safe for concurrent use (each engine owns its scratch
+// workspace), so one cache may serve concurrent engines. A cache must
+// not be shared across genetic codes: the key identifies (κ, ω, π)
+// only, and the exchangeability structure follows the code.
+type DecompCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[decompKey]*list.Element // values hold *decompEntry
+	order   *list.List                  // LRU order, most recent at front
+	hits    int
+	misses  int
+}
+
+// NewDecompCache returns a cache holding at most max decompositions
+// (max <= 0 selects a default of 64).
+func NewDecompCache(max int) *DecompCache {
+	if max <= 0 {
+		max = 64
+	}
+	return &DecompCache{
+		max:     max,
+		entries: make(map[decompKey]*list.Element, max),
+		order:   list.New(),
+	}
+}
+
+func rateKey(r *codon.Rate) decompKey {
+	// FNV-1a over the IEEE-754 bits of π.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range r.Pi {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= prime
+		}
+	}
+	return decompKey{piHash: h, kappa: r.Kappa, omega: r.Omega}
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the cached decomposition for the rate's exact
+// parameters, or nil when absent. A hit refreshes the entry's
+// eviction rank (LRU), so the repeatedly re-installed gradient-center
+// decompositions outlive one-shot optimizer probes.
+func (c *DecompCache) Get(r *codon.Rate) *expm.Decomposition {
+	key := rateKey(r)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if ok {
+		e := el.Value.(*decompEntry)
+		if sameVec(e.pi, r.Pi) {
+			c.hits++
+			c.order.MoveToFront(el)
+			return e.d
+		}
+	}
+	c.misses++
+	return nil
+}
+
+// Put stores a decomposition under the rate's parameters, evicting the
+// least-recently-used entry when full.
+func (c *DecompCache) Put(r *codon.Rate, d *expm.Decomposition) {
+	key := rateKey(r)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	if len(c.entries) >= c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*decompEntry).key)
+	}
+	e := &decompEntry{key: key, pi: append([]float64(nil), r.Pi...), d: d}
+	c.entries[key] = c.order.PushFront(e)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *DecompCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached decompositions.
+func (c *DecompCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
