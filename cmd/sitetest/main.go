@@ -12,11 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/align"
 	"repro/internal/core"
-	"repro/internal/newick"
 )
 
 func main() {
@@ -41,24 +39,11 @@ func main() {
 }
 
 func run(seqPath, treePath, engine string, maxIter int, skipM0, beta bool, alpha float64) error {
-	data, err := os.ReadFile(seqPath)
+	a, err := align.ReadFile(seqPath, align.FormatAuto)
 	if err != nil {
 		return err
 	}
-	var a *align.Alignment
-	if strings.HasPrefix(strings.TrimSpace(string(data)), ">") {
-		a, err = align.ReadFasta(strings.NewReader(string(data)))
-	} else {
-		a, err = align.ReadPhylip(strings.NewReader(string(data)))
-	}
-	if err != nil {
-		return err
-	}
-	treeData, err := os.ReadFile(treePath)
-	if err != nil {
-		return err
-	}
-	tree, err := newick.Parse(strings.TrimSpace(string(treeData)))
+	tree, err := core.ReadTreeFile(treePath)
 	if err != nil {
 		return err
 	}

@@ -6,47 +6,67 @@
 // Usage:
 //
 //	slimcodeml -seq aln.fasta -tree tree.nwk [flags]
-//	slimcodeml -seq g1.fasta,g2.fasta,... -tree tree.nwk [flags]   (batch)
+//	slimcodeml -seq g1.fasta,g2.fasta,... -tree tree.nwk [flags]   (in-memory batch)
+//	slimcodeml -manifest genes.tsv -out results.jsonl [flags]      (streaming batch)
+//	slimcodeml -dir genes/ -out results.tsv [flags]                (streaming batch)
 //
 // In single-gene mode the output reports the H0 and H1 fits, the
 // likelihood ratio test, and the sites inferred to be under positive
 // selection. Passing several comma-separated alignments switches to
-// the multi-gene batch driver: all genes are tested against the same
-// tree, fitted -jobs at a time, with every likelihood engine sharing
-// one persistent worker pool (-workers) and one eigendecomposition
-// cache.
+// the in-memory multi-gene batch driver: all genes are tested against
+// the same tree, fitted -jobs at a time, with every likelihood engine
+// sharing one persistent worker pool (-workers) and one
+// eigendecomposition cache.
+//
+// The streaming modes scale past memory: -manifest reads rows of
+// "name alignment-path tree-path" (per-gene trees, Selectome-style;
+// '#' comments, paths relative to the manifest), -dir pairs
+// NAME.{fasta,fa,fna,phy,phylip} with NAME.{nwk,tree,newick}. Genes
+// are loaded through a bounded prefetch window (-prefetch, default
+// 2×jobs), fitted concurrently, and written to -out in manifest order
+// as JSON Lines or TSV (-outfmt, or by the -out extension); peak
+// memory is O(prefetch), not O(genes).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/align"
 	"repro/internal/core"
+	"repro/internal/manifest"
 	"repro/internal/newick"
 )
 
 func main() {
 	var (
-		seqPath  = flag.String("seq", "", "alignment file(s), comma-separated (FASTA or PHYLIP); two or more select batch mode")
-		treePath = flag.String("tree", "", "Newick tree file with one branch marked #1")
-		format   = flag.String("format", "auto", "alignment format: fasta, phylip or auto")
-		engine   = flag.String("engine", "slim", "engine: baseline, slim, slim-sym or slim-bundled")
-		freq     = flag.String("freq", "f61", "codon frequencies: f61, f3x4 or uniform")
-		maxIter  = flag.Int("maxiter", 500, "maximum BFGS iterations per hypothesis")
-		seed     = flag.Int64("seed", 1, "seed for the starting parameter values")
-		alpha    = flag.Float64("alpha", 0.05, "significance level for the LRT")
-		beb      = flag.Int("beb", 0, "BEB grid size per axis (0 disables; 5 matches a light PAML grid; single-gene mode only)")
-		m0start  = flag.Bool("m0start", false, "initialize branch lengths from an M0 pre-fit (Selectome-style)")
-		workers  = flag.Int("workers", 0, "block-pool likelihood workers (0 = serial engine; batch mode defaults to GOMAXPROCS)")
-		jobs     = flag.Int("jobs", 0, "genes fitted concurrently in batch mode (0 = GOMAXPROCS)")
-		shareFrq = flag.Bool("sharefreq", false, "batch mode: estimate one frequency vector from the pooled codon counts of all genes")
+		seqPath   = flag.String("seq", "", "alignment file(s), comma-separated (FASTA or PHYLIP); two or more select batch mode")
+		treePath  = flag.String("tree", "", "Newick tree file with one branch marked #1")
+		maniPath  = flag.String("manifest", "", "streaming mode: manifest file with one 'name alignment-path tree-path' row per gene")
+		dirPath   = flag.String("dir", "", "streaming mode: directory pairing NAME.{fasta,fa,fna,phy,phylip} with NAME.{nwk,tree,newick}")
+		outPath   = flag.String("out", "", "streaming mode: results file (.jsonl or .tsv; empty = TSV on stdout)")
+		outFmt    = flag.String("outfmt", "auto", "streaming output format: jsonl, tsv or auto (by -out extension)")
+		prefetch  = flag.Int("prefetch", 0, "streaming mode: max genes resident at once (0 = 2×jobs)")
+		format    = flag.String("format", "auto", "alignment format: fasta, phylip or auto")
+		engine    = flag.String("engine", "slim", "engine: baseline, slim, slim-sym or slim-bundled")
+		freq      = flag.String("freq", "f61", "codon frequencies: f61, f3x4 or uniform")
+		maxIter   = flag.Int("maxiter", 500, "maximum BFGS iterations per hypothesis")
+		seed      = flag.Int64("seed", 1, "seed for the starting parameter values")
+		alpha     = flag.Float64("alpha", 0.05, "significance level for the LRT")
+		beb       = flag.Int("beb", 0, "BEB grid size per axis (0 disables; 5 matches a light PAML grid; single-gene mode only)")
+		m0start   = flag.Bool("m0start", false, "initialize branch lengths from an M0 pre-fit (Selectome-style)")
+		workers   = flag.Int("workers", 0, "block-pool likelihood workers (0 = serial engine; batch modes default to GOMAXPROCS)")
+		jobs      = flag.Int("jobs", 0, "genes fitted concurrently in batch modes (0 = GOMAXPROCS)")
+		shareFreq = flag.Bool("sharefreq", false, "batch modes: estimate one frequency vector from the pooled codon counts of all genes")
 	)
 	flag.Parse()
-	if *seqPath == "" || *treePath == "" {
+	streaming := *maniPath != "" || *dirPath != ""
+	if !streaming && (*seqPath == "" || *treePath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -56,23 +76,128 @@ func main() {
 		os.Exit(1)
 	}
 
-	seqPaths := strings.Split(*seqPath, ",")
 	var err error
-	if len(seqPaths) > 1 {
+	switch {
+	case streaming:
+		if *seqPath != "" || *treePath != "" {
+			err = fmt.Errorf("-manifest/-dir carry their own alignments and trees; drop -seq and -tree")
+			break
+		}
+		if *maniPath != "" && *dirPath != "" {
+			err = fmt.Errorf("-manifest and -dir are mutually exclusive")
+			break
+		}
 		if *beb > 0 {
-			fmt.Fprintln(os.Stderr, "slimcodeml: -beb applies to single-gene mode only; ignoring it for this batch")
+			fmt.Fprintln(os.Stderr, "slimcodeml: -beb applies to single-gene mode only; ignoring it for this stream")
 		}
-		err = runBatch(seqPaths, *treePath, *format, opts, *jobs, *workers, *shareFrq, *alpha)
-	} else {
-		if *jobs > 0 || *shareFrq {
-			fmt.Fprintln(os.Stderr, "slimcodeml: -jobs and -sharefreq apply to batch mode only; ignoring them for this single gene")
+		err = runStream(*maniPath, *dirPath, *format, opts, *jobs, *workers, *prefetch, *shareFreq, *outPath, *outFmt)
+	default:
+		seqPaths := strings.Split(*seqPath, ",")
+		if len(seqPaths) > 1 {
+			if *beb > 0 {
+				fmt.Fprintln(os.Stderr, "slimcodeml: -beb applies to single-gene mode only; ignoring it for this batch")
+			}
+			err = runBatch(seqPaths, *treePath, *format, opts, *jobs, *workers, *shareFreq, *alpha)
+		} else {
+			if *jobs > 0 || *shareFreq {
+				fmt.Fprintln(os.Stderr, "slimcodeml: -jobs and -sharefreq apply to batch mode only; ignoring them for this single gene")
+			}
+			err = run(seqPaths[0], *treePath, *format, opts, *alpha, *beb)
 		}
-		err = run(seqPaths[0], *treePath, *format, opts, *alpha, *beb)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slimcodeml:", err)
 		os.Exit(1)
 	}
+}
+
+// runStream drives the manifest/directory front end: genes stream
+// through core.RunBatchStream's bounded prefetch window and results
+// stream to the output file in manifest order.
+func runStream(maniPath, dirPath, format string, opts core.Options, jobs, workers, prefetch int, shareFreq bool, outPath, outFmt string) error {
+	var entries []manifest.Entry
+	var err error
+	if maniPath != "" {
+		entries, err = manifest.Load(maniPath)
+	} else {
+		entries, err = manifest.ScanDir(dirPath)
+	}
+	if err != nil {
+		return err
+	}
+	afmt, err := align.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+
+	// Status lines share stdout only when the results go to a file.
+	var out io.Writer = os.Stdout
+	status := io.Writer(os.Stderr)
+	finish := func() error { return nil }
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		out = bw
+		status = os.Stdout
+		// A flush or close failure (e.g. ENOSPC) must fail the run —
+		// a silently truncated results file would read as complete.
+		finish = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return fmt.Errorf("writing %s: %w", outPath, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("writing %s: %w", outPath, err)
+			}
+			return nil
+		}
+	}
+	var sink core.ResultSink
+	switch resolveOutFmt(outFmt, outPath) {
+	case "jsonl":
+		sink = core.NewJSONLSink(out)
+	case "tsv":
+		sink = core.NewTSVSink(out)
+	default:
+		return fmt.Errorf("unknown output format %q (want jsonl or tsv)", outFmt)
+	}
+
+	fmt.Fprintf(status, "SlimCodeML streaming batch: %d genes, %s engine\n", len(entries), opts.Engine)
+	summary, err := core.RunBatchStream(core.NewManifestSource(entries, afmt), sink, core.StreamOptions{
+		BatchOptions: core.BatchOptions{
+			Options:          opts,
+			Concurrency:      jobs,
+			PoolWorkers:      workers,
+			ShareFrequencies: shareFreq,
+		},
+		Prefetch: prefetch,
+	})
+	if err != nil {
+		finish()
+		return err
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "stream: %d genes (%d failed), %.2f s, decomposition cache %d hits / %d misses\n",
+		summary.Genes, summary.Failed, summary.Runtime.Seconds(), summary.CacheHits, summary.CacheMisses)
+	return nil
+}
+
+// resolveOutFmt maps -outfmt (or the -out extension when auto) to a
+// sink kind.
+func resolveOutFmt(outFmt, outPath string) string {
+	if outFmt != "auto" && outFmt != "" {
+		return outFmt
+	}
+	switch filepath.Ext(outPath) {
+	case ".jsonl", ".ndjson", ".json":
+		return "jsonl"
+	}
+	return "tsv"
 }
 
 func fillEngineAndFreq(opts *core.Options, engine, freq string) error {
@@ -102,11 +227,7 @@ func fillEngineAndFreq(opts *core.Options, engine, freq string) error {
 }
 
 func readTree(treePath string) (*newick.Tree, error) {
-	treeData, err := os.ReadFile(treePath)
-	if err != nil {
-		return nil, err
-	}
-	return newick.Parse(strings.TrimSpace(string(treeData)))
+	return core.ReadTreeFile(treePath)
 }
 
 func run(seqPath, treePath, format string, opts core.Options, alpha float64, bebGrid int) error {
@@ -232,27 +353,11 @@ func runBatch(seqPaths []string, treePath, format string, opts core.Options, job
 }
 
 func readAlignment(path, format string) (*align.Alignment, error) {
-	f, err := os.Open(path)
+	f, err := align.ParseFormat(format)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	switch format {
-	case "fasta":
-		return align.ReadFasta(f)
-	case "phylip":
-		return align.ReadPhylip(f)
-	case "auto":
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		if strings.HasPrefix(strings.TrimSpace(string(data)), ">") {
-			return align.ReadFasta(strings.NewReader(string(data)))
-		}
-		return align.ReadPhylip(strings.NewReader(string(data)))
-	}
-	return nil, fmt.Errorf("unknown format %q", format)
+	return align.ReadFile(path, f)
 }
 
 func describeForeground(t *newick.Tree) string {

@@ -4,23 +4,34 @@
 // tree" (paper §I-A). Data are simulated with selection on one known
 // branch; the scan should rank that branch first.
 //
-// The scan is expressed as one multi-gene batch: each candidate branch
-// becomes a Gene sharing the alignment but carrying its own marked
-// tree, and core.RunBatch fits the candidates concurrently while every
-// likelihood engine executes its (class × pattern-block) tiles on one
-// shared persistent worker pool.
+// The scan exercises the full streaming pipeline the way a production
+// run would: the simulated alignment and one marked tree per candidate
+// branch are written to a scan directory, a manifest is emitted and
+// loaded back (validating paths and names), and the candidates stream
+// through core.RunBatchStream — loaded through a bounded prefetch
+// window, fitted concurrently on one shared worker pool and
+// eigendecomposition cache, and delivered in manifest order to two
+// sinks at once: a JSON-lines archive and an in-memory collector for
+// the ranking. Swap the simulated manifest for a real one and this is
+// slimcodeml -manifest.
 //
 // Run with: go run ./examples/selectionscan
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
+	"repro/internal/align"
 	"repro/internal/bsm"
 	"repro/internal/codon"
 	"repro/internal/core"
+	"repro/internal/manifest"
 	"repro/internal/newick"
 	"repro/internal/sim"
 )
@@ -43,12 +54,28 @@ func main() {
 	fmt.Printf("simulated %d×%d codons; true foreground branch: node %d (%s)\n\n",
 		aln.NumSeqs(), aln.Length()/3, truthID, branchLabel(tree, truthID))
 
-	// One batch gene per candidate internal branch: the alignment is
-	// shared, the tree is re-marked per candidate. (Selectome scans
-	// internal branches; add leaves to the loop to scan terminal
-	// branches too.)
-	var genes []core.Gene
+	// Write the scan workspace: one shared alignment file, one marked
+	// tree file per candidate internal branch, and a manifest tying
+	// them together. (Selectome scans internal branches; add leaves to
+	// the loop to scan terminal branches too.)
+	dir, err := os.MkdirTemp("", "selectionscan-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	alnPath := filepath.Join(dir, "gene.fasta")
+	af, err := os.Create(alnPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := align.WriteFasta(af, aln); err != nil {
+		log.Fatal(err)
+	}
+	af.Close()
+
+	var entries []manifest.Entry
 	var candidates []int
+	labels := make(map[string]string)
 	for _, cand := range tree.Nodes {
 		if cand == tree.Root || cand.IsLeaf() {
 			continue
@@ -59,25 +86,48 @@ func main() {
 		}
 		scanTree.Nodes[cand.ID].Mark = 1
 		scanTree.Index()
-		genes = append(genes, core.Gene{
-			Name:      branchLabel(tree, cand.ID),
-			Alignment: aln,
-			Tree:      scanTree,
-		})
+		name := fmt.Sprintf("branch-%d", cand.ID)
+		treePath := filepath.Join(dir, name+".nwk")
+		if err := os.WriteFile(treePath, []byte(scanTree.String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		entries = append(entries, manifest.Entry{Name: name, AlignPath: alnPath, TreePath: treePath})
 		candidates = append(candidates, cand.ID)
+		labels[name] = branchLabel(tree, cand.ID)
+	}
+	maniPath := filepath.Join(dir, "scan.manifest")
+	if err := manifest.WriteFile(maniPath, entries); err != nil {
+		log.Fatal(err)
 	}
 
-	batch, err := core.RunBatch(genes, core.BatchOptions{
-		Options: core.Options{
-			Engine:        core.EngineSlim,
-			MaxIterations: 40,
-			Seed:          5,
-		},
-		// The candidates share one alignment, so one pooled frequency
-		// vector is exact and lets the eigendecomposition cache work
-		// across candidates.
-		ShareFrequencies: true,
-	})
+	// Load the manifest back (path and name validation) and stream it.
+	loaded, err := manifest.Load(maniPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manifest %s: %d candidates, e.g.\n  %s\t%s\t%s\n\n",
+		filepath.Base(maniPath), len(loaded),
+		loaded[0].Name, filepath.Base(loaded[0].AlignPath), filepath.Base(loaded[0].TreePath))
+
+	var collect core.CollectSink
+	var archive bytes.Buffer
+	summary, err := core.RunBatchStream(
+		core.NewManifestSource(loaded, align.FormatAuto),
+		core.NewMultiSink(&collect, core.NewJSONLSink(&archive)),
+		core.StreamOptions{
+			BatchOptions: core.BatchOptions{
+				Options: core.Options{
+					Engine:        core.EngineSlim,
+					MaxIterations: 40,
+					Seed:          5,
+				},
+				// The candidates share one alignment, so one pooled
+				// frequency vector is exact and lets the
+				// eigendecomposition cache work across candidates.
+				ShareFrequencies: true,
+			},
+			Prefetch: 4,
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,21 +139,23 @@ func main() {
 		p      float64
 	}
 	var hits []hit
-	for i, g := range batch.Genes {
+	for i, g := range collect.Results() {
 		if g.Err != nil {
 			log.Fatal(g.Err)
 		}
 		hits = append(hits, hit{
 			nodeID: candidates[i],
-			label:  g.Name,
+			label:  labels[g.Name],
 			lrt:    g.Result.LRT.Statistic,
 			p:      g.Result.LRT.PValueChi2,
 		})
 		fmt.Printf("branch %-28s 2ΔlnL = %7.3f   p = %.3g\n",
-			g.Name, g.Result.LRT.Statistic, g.Result.LRT.PValueChi2)
+			labels[g.Name], g.Result.LRT.Statistic, g.Result.LRT.PValueChi2)
 	}
 	fmt.Printf("\nscan: %d candidates in %.2f s, decomposition cache %d hits / %d misses\n",
-		len(batch.Genes), batch.Runtime.Seconds(), batch.CacheHits, batch.CacheMisses)
+		summary.Genes, summary.Runtime.Seconds(), summary.CacheHits, summary.CacheMisses)
+	firstLine, _, _ := strings.Cut(archive.String(), "\n")
+	fmt.Printf("JSONL archive: %d bytes, first record:\n  %s\n\n", archive.Len(), firstLine)
 
 	sort.Slice(hits, func(i, j int) bool { return hits[i].lrt > hits[j].lrt })
 	fmt.Printf("strongest signal: %s (2ΔlnL = %.3f)\n", hits[0].label, hits[0].lrt)

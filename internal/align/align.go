@@ -1,9 +1,25 @@
 // Package align implements the multiple sequence alignment (MSA)
-// substrate: FASTA and PHYLIP readers for nucleotide alignments, the
-// translation of an MSA into sense-codon index sequences, and the
-// site-pattern compression that collapses identical alignment columns
-// into weighted patterns (the standard optimization that makes long
-// MSAs such as the paper's dataset ii, 5004 codons, tractable).
+// substrate: FASTA and PHYLIP readers for nucleotide alignments (plus
+// the format-sniffing ReadFile loader the manifest pipeline pulls
+// genes through), the translation of an MSA into sense-codon index
+// sequences (EncodeCodons), and the site-pattern compression that
+// collapses identical alignment columns into weighted patterns
+// (Compress — the standard optimization that makes long MSAs such as
+// the paper's dataset ii, 5004 codons, tractable).
+//
+// Pattern-compression invariants downstream code relies on:
+//
+//   - Lossless likelihood: Σ_p Weights[p]·ln L(pattern p) equals the
+//     uncompressed per-site sum exactly — compression merges identical
+//     columns only, never approximates.
+//   - Stable order: patterns are numbered by first occurrence, and
+//     SiteToPattern maps every original site back, so per-site results
+//     (NEB/BEB posteriors) are recoverable and runs are deterministic
+//     for a given alignment.
+//   - Code dependence: sense-codon indices are relative to one
+//     codon.GeneticCode; a Patterns value must only meet models built
+//     under the same code (enforced upstream by encode caching and
+//     cache keying).
 package align
 
 import (

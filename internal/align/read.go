@@ -1,0 +1,87 @@
+package align
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Format selects an alignment file format for Read and ReadFile — the
+// loader the manifest-driven batch pipeline uses to pull one gene at a
+// time off disk.
+type Format int
+
+const (
+	// FormatAuto sniffs the content: input starting with '>' is FASTA,
+	// anything else PHYLIP.
+	FormatAuto Format = iota
+	// FormatFasta forces FASTA.
+	FormatFasta
+	// FormatPhylip forces PHYLIP (sequential or interleaved).
+	FormatPhylip
+)
+
+// ParseFormat maps the CLI spelling ("auto", "fasta", "phylip") to a
+// Format; the empty string means auto.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "auto":
+		return FormatAuto, nil
+	case "fasta":
+		return FormatFasta, nil
+	case "phylip":
+		return FormatPhylip, nil
+	}
+	return 0, fmt.Errorf("align: unknown format %q", s)
+}
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatFasta:
+		return "fasta"
+	case FormatPhylip:
+		return "phylip"
+	}
+	return fmt.Sprintf("format(%d)", int(f))
+}
+
+// Read parses one alignment in the given format. FormatAuto buffers
+// the whole input to sniff it — alignments are single-gene sized, so
+// this stays far below the streaming pipeline's per-gene budget.
+func Read(r io.Reader, f Format) (*Alignment, error) {
+	switch f {
+	case FormatFasta:
+		return ReadFasta(r)
+	case FormatPhylip:
+		return ReadPhylip(r)
+	case FormatAuto:
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("align: %w", err)
+		}
+		if strings.HasPrefix(strings.TrimSpace(string(data)), ">") {
+			return ReadFasta(bytes.NewReader(data))
+		}
+		return ReadPhylip(bytes.NewReader(data))
+	}
+	return nil, fmt.Errorf("align: unknown format %d", int(f))
+}
+
+// ReadFile opens and parses one alignment file.
+func ReadFile(path string, f Format) (*Alignment, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	a, err := Read(fh, f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}

@@ -159,8 +159,22 @@ func newGeneticCode(name string, aa [NumCodons]byte) *GeneticCode {
 	return gc
 }
 
+// NewCode builds a genetic code from a 64-entry amino-acid table in
+// PAML codon order, '*' marking stops — the hook for translation
+// tables beyond the built-ins. Codes are compared by identity
+// throughout the repository (rate matrices record the code they were
+// built under, and the decomposition cache keys on it), so construct
+// each code once and share the pointer.
+func NewCode(name string, aa [NumCodons]byte) *GeneticCode {
+	return newGeneticCode(name, aa)
+}
+
 // Name returns the code's name.
 func (gc *GeneticCode) Name() string { return gc.name }
+
+// AminoAcids returns the code's full 64-entry amino-acid table in
+// PAML codon order, '*' marking stops.
+func (gc *GeneticCode) AminoAcids() [NumCodons]byte { return gc.aa }
 
 // NumStates returns the number of sense codons (61 for the universal
 // code) — the dimension of the substitution matrices.

@@ -21,6 +21,12 @@ import (
 // mixture normalizer μ̄, see internal/bsm) rather than the matrix, so
 // that one eigendecomposition serves every branch length and scale.
 type Rate struct {
+	// Code is the genetic code the matrix was built under. It is part
+	// of the rate's identity: two codes can share a state count (and
+	// hence accept identical π vectors) while classifying codon
+	// changes differently, so caches keyed on (κ, ω, π) alone would
+	// alias across codes. lik.DecompCache keys on Code as well.
+	Code  *GeneticCode
 	Kappa float64
 	Omega float64
 	Pi    []float64 // equilibrium frequencies over sense codons
@@ -96,6 +102,7 @@ func NewRate(gc *GeneticCode, kappa, omega float64, pi []float64) (*Rate, error)
 	}
 
 	return &Rate{
+		Code:  gc,
 		Kappa: kappa,
 		Omega: omega,
 		Pi:    mat.VecClone(pi),

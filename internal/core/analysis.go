@@ -37,20 +37,37 @@ type Analysis struct {
 // Newick tree with exactly one #1-marked foreground branch.
 func NewAnalysis(a *align.Alignment, t *newick.Tree, opts Options) (*Analysis, error) {
 	opts.fill()
-	if got := len(t.ForegroundBranches()); got != 1 {
-		return nil, fmt.Errorf("core: tree must mark exactly one foreground branch (#1), found %d", got)
-	}
 	ca, err := align.EncodeCodons(a, opts.Code)
 	if err != nil {
 		return nil, err
 	}
-	pats := align.Compress(ca)
+	return newAnalysis(t, align.Compress(ca), ca.Names, opts)
+}
+
+// newGeneAnalysis builds an Analysis from a batch gene, reusing the
+// gene's cached encode+compress product (Gene.Patterns) so the batch
+// drivers run EncodeCodons+Compress exactly once per gene even when a
+// shared-frequency pre-pass already encoded it.
+func newGeneAnalysis(g *Gene, opts Options) (*Analysis, error) {
+	opts.fill()
+	pats, names, err := g.Patterns(opts.Code)
+	if err != nil {
+		return nil, err
+	}
+	return newAnalysis(g.Tree, pats, names, opts)
+}
+
+// newAnalysis finishes construction from compressed patterns — the
+// shared tail of NewAnalysis and the batch drivers' prepared path.
+func newAnalysis(t *newick.Tree, pats *align.Patterns, names []string, opts Options) (*Analysis, error) {
+	if got := len(t.ForegroundBranches()); got != 1 {
+		return nil, fmt.Errorf("core: tree must mark exactly one foreground branch (#1), found %d", got)
+	}
 	pi, err := resolveFrequencies(&opts, pats)
 	if err != nil {
 		return nil, err
 	}
-
-	eng, err := lik.New(t, pats, ca.Names, opts.likConfig())
+	eng, err := lik.New(t, pats, names, opts.likConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +75,7 @@ func NewAnalysis(a *align.Alignment, t *newick.Tree, opts Options) (*Analysis, e
 		opts:  opts,
 		tree:  t.Clone(),
 		pats:  pats,
-		names: ca.Names,
+		names: names,
 		pi:    pi,
 		eng:   eng,
 	}, nil
@@ -297,13 +314,14 @@ func (an *Analysis) FitFrom(h bsm.Hypothesis, p0 bsm.Params, startLens []float64
 	}, nil
 }
 
-// SiteSelection is one codon site's empirical-Bayes result.
+// SiteSelection is one codon site's empirical-Bayes result. The JSON
+// tags are the streaming sinks' wire format.
 type SiteSelection struct {
 	// Site is the 1-based codon position in the alignment.
-	Site int
+	Site int `json:"site"`
 	// Probability is the posterior probability of classes 2a+2b
 	// (positive selection on the foreground branch).
-	Probability float64
+	Probability float64 `json:"probability"`
 }
 
 // TestResult is the complete H0-vs-H1 positive selection test.

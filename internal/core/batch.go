@@ -3,12 +3,10 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/align"
 	"repro/internal/codon"
-	"repro/internal/lik"
 	"repro/internal/newick"
 )
 
@@ -21,10 +19,47 @@ type Gene struct {
 	Name      string
 	Alignment *align.Alignment
 	Tree      *newick.Tree
+
+	// Cached encode+compress product (see Patterns). The batch drivers
+	// fill it at most once per gene, so the shared-frequency pre-pass
+	// and the fit reuse a single encoding.
+	encCode  *codon.GeneticCode
+	encPats  *align.Patterns
+	encNames []string
+	encodes  int // number of EncodeCodons+Compress runs (tests assert 1)
+
+	// loadErr marks a gene whose files could not be loaded
+	// (ManifestSource). The streaming driver turns it into an error
+	// result for this gene instead of aborting the stream.
+	loadErr error
 }
 
-// BatchOptions configures RunBatch. The embedded Options apply to
-// every gene.
+// Patterns returns the gene's codon-encoded, pattern-compressed
+// alignment under the genetic code, encoding at most once: repeated
+// calls with the same code return the cached product. Not safe for
+// concurrent use on one Gene — the batch drivers touch each gene from
+// one goroutine at a time (the serial pre-pass, then exactly one
+// worker).
+func (g *Gene) Patterns(gc *codon.GeneticCode) (*align.Patterns, []string, error) {
+	if g.loadErr != nil {
+		return nil, nil, g.loadErr
+	}
+	if g.encPats != nil && g.encCode == gc {
+		return g.encPats, g.encNames, nil
+	}
+	ca, err := align.EncodeCodons(g.Alignment, gc)
+	if err != nil {
+		return nil, nil, err
+	}
+	g.encPats = align.Compress(ca)
+	g.encNames = ca.Names
+	g.encCode = gc
+	g.encodes++
+	return g.encPats, g.encNames, nil
+}
+
+// BatchOptions configures RunBatch and (embedded in StreamOptions)
+// RunBatchStream. The embedded Options apply to every gene.
 type BatchOptions struct {
 	Options
 	// Concurrency is the number of genes fitted concurrently; 0
@@ -68,11 +103,15 @@ type BatchResult struct {
 // and share one eigendecomposition cache. Per-gene results are
 // bit-identical to a sequential Analysis.Run with the same Options:
 // parallelism only reorders independent work, never the arithmetic.
+//
+// RunBatch is the in-memory tier of the batch driver — a SliceSource
+// plus CollectSink around RunBatchStream. For collections that should
+// not be materialized (millions of genes), stream them instead: see
+// RunBatchStream and ManifestSource.
 func RunBatch(genes []Gene, opts BatchOptions) (*BatchResult, error) {
 	if len(genes) == 0 {
 		return nil, fmt.Errorf("core: RunBatch needs at least one gene")
 	}
-	opts.fill()
 	conc := opts.Concurrency
 	if conc <= 0 {
 		conc = runtime.GOMAXPROCS(0)
@@ -80,95 +119,19 @@ func RunBatch(genes []Gene, opts BatchOptions) (*BatchResult, error) {
 	if conc > len(genes) {
 		conc = len(genes)
 	}
-
-	geneOpts := opts.Options
-	if opts.PoolWorkers >= 0 {
-		pool := lik.NewPool(opts.PoolWorkers)
-		defer pool.Close()
-		geneOpts.pool = pool
+	sopts := StreamOptions{BatchOptions: opts}
+	sopts.Concurrency = conc
+	sopts.CacheSize = 4 * len(genes)
+	var col CollectSink
+	sum, err := RunBatchStream(NewSliceSource(genes), &col, sopts)
+	if err != nil {
+		return nil, err
 	}
-	cache := lik.NewDecompCache(4 * len(genes))
-	geneOpts.decomps = cache
-
-	if opts.ShareFrequencies {
-		pi, err := pooledFrequencies(genes, &geneOpts)
-		if err != nil {
-			return nil, err
-		}
-		geneOpts.Frequencies = pi
-	}
-
-	start := time.Now()
-	out := &BatchResult{Genes: make([]GeneResult, len(genes))}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, conc)
-	for i, g := range genes {
-		wg.Add(1)
-		go func(i int, g Gene) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res := GeneResult{Name: g.Name}
-			an, err := NewAnalysis(g.Alignment, g.Tree, geneOpts)
-			if err != nil {
-				res.Err = fmt.Errorf("gene %s: %w", g.Name, err)
-			} else {
-				r, err := an.Run()
-				if err != nil {
-					res.Err = fmt.Errorf("gene %s: %w", g.Name, err)
-				} else {
-					res.Result = r
-				}
-				an.Close()
-			}
-			out.Genes[i] = res
-		}(i, g)
-	}
-	wg.Wait()
-
-	for _, g := range out.Genes {
-		if g.Err != nil {
-			out.Failed++
-		}
-	}
-	out.CacheHits, out.CacheMisses = cache.Stats()
-	out.Runtime = time.Since(start)
-	return out, nil
-}
-
-// pooledFrequencies estimates one frequency vector from the summed
-// codon counts of every gene, using the batch's Freq estimator.
-func pooledFrequencies(genes []Gene, opts *Options) ([]float64, error) {
-	gc := opts.Code
-	if opts.Freq == FreqUniform {
-		return codon.UniformFrequencies(gc), nil
-	}
-	codonCounts := make([]float64, gc.NumStates())
-	var nucCounts [3][4]float64
-	for _, g := range genes {
-		ca, err := align.EncodeCodons(g.Alignment, gc)
-		if err != nil {
-			return nil, fmt.Errorf("gene %s: %w", g.Name, err)
-		}
-		pats := align.Compress(ca)
-		switch opts.Freq {
-		case FreqF61:
-			for i, v := range pats.CountCodonsCompressed() {
-				codonCounts[i] += v
-			}
-		case FreqF3x4:
-			nc := pats.NucCountsByPositionCompressed()
-			for p := range nc {
-				for b := range nc[p] {
-					nucCounts[p][b] += nc[p][b]
-				}
-			}
-		default:
-			return nil, fmt.Errorf("core: unknown frequency estimator %d", opts.Freq)
-		}
-	}
-	if opts.Freq == FreqF3x4 {
-		return codon.F3x4(gc, nucCounts)
-	}
-	return codon.F61(gc, codonCounts)
+	return &BatchResult{
+		Genes:       col.Results(),
+		Failed:      sum.Failed,
+		CacheHits:   sum.CacheHits,
+		CacheMisses: sum.CacheMisses,
+		Runtime:     sum.Runtime,
+	}, nil
 }

@@ -21,6 +21,33 @@
 //     possible");
 //   - EngineSlimBundled adds BLAS-3 bundling of all sites into one
 //     matrix product per branch (§III-B / rules of thumb).
+//
+// # Execution tiers
+//
+// Orthogonally to the engine kind, work is scheduled at one of three
+// tiers, each subsuming the one below:
+//
+//   - Serial engine: one Analysis, one goroutine (Options.Workers = 0).
+//     The reference arithmetic.
+//   - Block-pool engine: one Analysis whose likelihood evaluations run
+//     as (class × pattern-block) tiles on a worker pool
+//     (Options.Workers > 0, or a shared lik.Pool in a batch).
+//   - Streaming batch: many genes pulled through a bounded prefetch
+//     window by RunBatchStream (RunBatch is its in-memory wrapper),
+//     fitted concurrently on one shared pool and one shared
+//     eigendecomposition cache, results streamed to a ResultSink in
+//     source order.
+//
+// Two invariants hold across all tiers and are enforced by tests:
+//
+//   - Bit-identity: for fixed Options, every tier produces the same
+//     log-likelihoods bit-for-bit — parallelism reorders independent
+//     work, never the arithmetic (disjoint tile buffers, serial
+//     in-order reductions).
+//   - Cache safety: the shared lik.DecompCache keys decompositions on
+//     the genetic code's identity plus the exact (κ, ω, π), so cache
+//     hits can never substitute a decomposition from another code or
+//     parameter set; a lookup is either exact or a miss.
 package core
 
 import (

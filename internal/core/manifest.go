@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/align"
+	"repro/internal/manifest"
+	"repro/internal/newick"
+)
+
+// ManifestSource streams genes from manifest entries, loading each
+// alignment and tree lazily on Next so that only the driver's
+// prefetch window of genes is ever resident — the front end that
+// takes the batch pipeline from "fits in memory" to "fits on disk"
+// (Selectome-scale collections, per-gene trees).
+//
+// Reset rewinds to the first entry, so the source satisfies
+// ReplayableSource and supports the two-pass shared-frequency path.
+// Replaying re-reads (and re-encodes) every file: bounded memory is
+// bought with one extra pass of I/O. Use manifest.Load or
+// manifest.ScanDir to build verified entries.
+type ManifestSource struct {
+	entries []manifest.Entry
+	format  align.Format
+	next    int
+}
+
+// NewManifestSource returns a source over the entries, reading
+// alignments in the given format (align.FormatAuto sniffs each file).
+func NewManifestSource(entries []manifest.Entry, format align.Format) *ManifestSource {
+	return &ManifestSource{entries: entries, format: format}
+}
+
+// Len returns the number of genes the source will yield.
+func (s *ManifestSource) Len() int { return len(s.entries) }
+
+// Next loads the next entry's alignment and tree and returns them as
+// a Gene. A file that fails to load (missing, truncated, unparseable)
+// does not abort the stream: the gene is returned with the load error
+// attached, and the driver records it as that gene's error result —
+// one bad file in a million-gene manifest costs one result row, not
+// the run.
+func (s *ManifestSource) Next() (*Gene, error) {
+	if s.next >= len(s.entries) {
+		return nil, nil
+	}
+	e := s.entries[s.next]
+	s.next++
+	a, err := align.ReadFile(e.AlignPath, s.format)
+	if err != nil {
+		return &Gene{Name: e.Name, loadErr: err}, nil
+	}
+	t, err := ReadTreeFile(e.TreePath)
+	if err != nil {
+		return &Gene{Name: e.Name, loadErr: err}, nil
+	}
+	return &Gene{Name: e.Name, Alignment: a, Tree: t}, nil
+}
+
+// Reset rewinds to the first entry.
+func (s *ManifestSource) Reset() error {
+	s.next = 0
+	return nil
+}
+
+// ReadTreeFile parses a Newick tree file.
+func ReadTreeFile(path string) (*newick.Tree, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := newick.Parse(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bsm"
+	"repro/internal/stat"
+)
+
+// goldenResults builds one fully populated success and one failure,
+// with values chosen to serialize without rounding surprises.
+func goldenResults() []GeneResult {
+	ok := GeneResult{
+		Name: "g1",
+		Result: &TestResult{
+			Engine: EngineSlim,
+			H0: &FitResult{
+				Hypothesis: bsm.H0, LnL: -1234.5, Iterations: 10, Converged: true,
+			},
+			H1: &FitResult{
+				Hypothesis: bsm.H1, LnL: -1230.25, Iterations: 12, Converged: true,
+				Params: bsm.Params{Kappa: 2.5, Omega0: 0.125, Omega2: 3.75, P0: 0.5, P1: 0.25},
+			},
+			LRT: stat.LRT{
+				LnL0: -1234.5, LnL1: -1230.25,
+				Statistic: 8.5, PValueChi2: 0.0039, PValueMixture: 0.00195,
+			},
+			PositiveSites:   []SiteSelection{{Site: 42, Probability: 0.96875}},
+			TotalRuntime:    1500 * time.Millisecond,
+			TotalIterations: 22,
+		},
+	}
+	bad := GeneResult{Name: "bad", Err: fmt.Errorf("gene bad: boom")}
+	return []GeneResult{ok, bad}
+}
+
+func TestJSONLSinkGolden(t *testing.T) {
+	var buf strings.Builder
+	sink := NewJSONLSink(&buf)
+	for _, r := range goldenResults() {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := `{"name":"g1","lnl_h0":-1234.5,"lnl_h1":-1230.25,"lrt":8.5,"p_chi2":0.0039,"p_mixture":0.00195,"kappa":2.5,"omega0":0.125,"omega2":3.75,"p0":0.5,"p1":0.25,"iterations":22,"converged":true,"runtime_sec":1.5,"positive_sites":[{"site":42,"probability":0.96875}]}
+{"name":"bad","error":"gene bad: boom","lnl_h0":0,"lnl_h1":0,"lrt":0,"p_chi2":0,"p_mixture":0,"kappa":0,"omega0":0,"omega2":0,"p0":0,"p1":0,"iterations":0,"converged":false,"runtime_sec":0}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("JSONL output mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestTSVSinkGolden(t *testing.T) {
+	var buf strings.Builder
+	sink := NewTSVSink(&buf)
+	for _, r := range goldenResults() {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := "gene\tlnl_h0\tlnl_h1\tlrt\tp_chi2\tp_mixture\tkappa\tomega0\tomega2\tp0\tp1\titerations\tconverged\truntime_sec\tpositive_sites\terror\n" +
+		"g1\t-1234.500000\t-1230.250000\t8.500000\t0.0039\t0.00195\t2.500000\t0.125000\t3.750000\t0.500000\t0.250000\t22\ttrue\t1.500\t42:0.969\t-\n" +
+		"bad\tNA\tNA\tNA\tNA\tNA\tNA\tNA\tNA\tNA\tNA\tNA\tNA\tNA\tNA\tgene bad: boom\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("TSV output mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestMultiSinkFanOut(t *testing.T) {
+	var a, b CollectSink
+	sink := NewMultiSink(&a, &b)
+	for _, r := range goldenResults() {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(a.Results()) != 2 || len(b.Results()) != 2 {
+		t.Fatalf("fan-out lost results: %d, %d", len(a.Results()), len(b.Results()))
+	}
+	if a.Results()[1].Name != "bad" {
+		t.Fatalf("order lost: %s", a.Results()[1].Name)
+	}
+}

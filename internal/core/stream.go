@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/codon"
+	"repro/internal/lik"
+)
+
+// GeneSource yields the genes of a batch one at a time, so a
+// collection never has to be materialized: Next returns (nil, nil)
+// after the final gene. The driver calls Next from a single goroutine,
+// so implementations need not be concurrency-safe. An error from Next
+// aborts the whole stream; per-gene *analysis* failures, by contrast,
+// are recorded in that gene's result and the run continues.
+type GeneSource interface {
+	Next() (*Gene, error)
+}
+
+// ReplayableSource is a GeneSource that can restart from the first
+// gene. The shared-frequency path requires it: pass one streams the
+// pooled codon counts, pass two runs the fits.
+type ReplayableSource interface {
+	GeneSource
+	Reset() error
+}
+
+// ResultSink consumes per-gene results. RunBatchStream delivers
+// results in source order, exactly once per gene, from a single
+// goroutine. A Write error aborts the stream.
+type ResultSink interface {
+	Write(GeneResult) error
+}
+
+// SliceSource adapts an in-memory gene slice to the streaming driver;
+// RunBatch is built on it. It yields pointers into the slice, so the
+// per-gene encode cache (Gene.Patterns) persists across the
+// shared-frequency pre-pass and the fits.
+type SliceSource struct {
+	genes []Gene
+	next  int
+}
+
+// NewSliceSource returns a replayable source over the slice.
+func NewSliceSource(genes []Gene) *SliceSource { return &SliceSource{genes: genes} }
+
+// Next yields a pointer to the next gene in the slice.
+func (s *SliceSource) Next() (*Gene, error) {
+	if s.next >= len(s.genes) {
+		return nil, nil
+	}
+	g := &s.genes[s.next]
+	s.next++
+	return g, nil
+}
+
+// Reset rewinds to the first gene.
+func (s *SliceSource) Reset() error {
+	s.next = 0
+	return nil
+}
+
+// StreamOptions configures RunBatchStream.
+type StreamOptions struct {
+	BatchOptions
+	// Prefetch bounds the number of genes resident at once — loaded
+	// from the source but not yet delivered to the sink, including the
+	// ones being fitted and any finished results waiting for in-order
+	// delivery. 0 selects 2×Concurrency. Peak alignment memory is
+	// O(Prefetch), independent of the collection size.
+	Prefetch int
+	// CacheSize caps the shared eigendecomposition cache (entries);
+	// 0 selects a default sized for an unbounded stream.
+	CacheSize int
+}
+
+// StreamSummary aggregates a streaming run; the per-gene results have
+// already gone to the sink.
+type StreamSummary struct {
+	// Genes counts results delivered to the sink.
+	Genes int
+	// Failed counts delivered results carrying an error.
+	Failed int
+	// CacheHits / CacheMisses report the shared eigendecomposition
+	// cache's effectiveness.
+	CacheHits, CacheMisses int
+	Runtime                time.Duration
+}
+
+// RunBatchStream runs the full branch-site test on every gene the
+// source yields, delivering results to the sink in source order. It is
+// the streaming tier of the batch driver: where RunBatch holds the
+// whole collection, RunBatchStream holds at most Prefetch genes — a
+// producer goroutine pulls genes through a bounded window, Concurrency
+// workers fit them (sharing one persistent likelihood worker pool and
+// one eigendecomposition cache, exactly as RunBatch does), and a
+// serial collector reorders finished results for the sink. A gene's
+// window slot is released only after its result reaches the sink, so
+// the bound covers queued, in-flight and reorder-pending genes alike.
+//
+// Per-gene results are bit-identical to RunBatch and to a sequential
+// Analysis.Run with the same Options: the streaming machinery reorders
+// independent work, never the arithmetic.
+func RunBatchStream(src GeneSource, sink ResultSink, opts StreamOptions) (*StreamSummary, error) {
+	if src == nil || sink == nil {
+		return nil, fmt.Errorf("core: RunBatchStream needs a source and a sink")
+	}
+	opts.fill()
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	prefetch := opts.Prefetch
+	if prefetch <= 0 {
+		prefetch = 2 * conc
+	}
+
+	geneOpts := opts.Options
+	if opts.PoolWorkers >= 0 {
+		pool := lik.NewPool(opts.PoolWorkers)
+		defer pool.Close()
+		geneOpts.pool = pool
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = 256
+	}
+	cache := lik.NewDecompCache(cacheSize)
+	geneOpts.decomps = cache
+
+	if opts.ShareFrequencies {
+		rs, ok := src.(ReplayableSource)
+		if !ok {
+			return nil, fmt.Errorf("core: ShareFrequencies needs a ReplayableSource (the pooled-count pass reads every gene before the first fit)")
+		}
+		pi, err := streamedFrequencies(rs, &geneOpts)
+		if err != nil {
+			return nil, err
+		}
+		geneOpts.Frequencies = pi
+	}
+
+	start := time.Now()
+	type item struct {
+		seq  int
+		gene *Gene
+	}
+	type delivered struct {
+		seq int
+		res GeneResult
+	}
+	sem := make(chan struct{}, prefetch) // one slot per resident gene
+	work := make(chan item)
+	results := make(chan delivered, conc)
+	abort := make(chan struct{})
+
+	// Producer: acquire a window slot, then load the next gene. The
+	// slot is held until the collector delivers the gene's result, so
+	// at most prefetch genes exist between source and sink.
+	var srcErr error
+	go func() {
+		defer close(work)
+		for seq := 0; ; seq++ {
+			select {
+			case sem <- struct{}{}:
+			case <-abort:
+				return
+			}
+			g, err := src.Next()
+			if err != nil || g == nil {
+				srcErr = err
+				return
+			}
+			select {
+			case work <- item{seq: seq, gene: g}:
+			case <-abort:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				results <- delivered{seq: it.seq, res: runGene(it.gene, geneOpts)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: reorder finished genes and write them in source
+	// order. Runs on the calling goroutine, so the sink sees a single
+	// writer. After a sink error the remaining in-flight genes are
+	// drained (their results discarded) so the goroutines exit.
+	sum := &StreamSummary{}
+	var sinkErr error
+	pending := make(map[int]GeneResult)
+	nextSeq := 0
+	for d := range results {
+		if sinkErr != nil {
+			continue
+		}
+		pending[d.seq] = d.res
+		for {
+			r, ok := pending[nextSeq]
+			if !ok {
+				break
+			}
+			delete(pending, nextSeq)
+			if err := sink.Write(r); err != nil {
+				sinkErr = fmt.Errorf("core: result sink: %w", err)
+				close(abort)
+				break
+			}
+			nextSeq++
+			sum.Genes++
+			if r.Err != nil {
+				sum.Failed++
+			}
+			<-sem
+		}
+	}
+	sum.CacheHits, sum.CacheMisses = cache.Stats()
+	sum.Runtime = time.Since(start)
+	if sinkErr != nil {
+		return sum, sinkErr
+	}
+	if srcErr != nil {
+		return sum, fmt.Errorf("core: gene source: %w", srcErr)
+	}
+	return sum, nil
+}
+
+// runGene executes one gene's full H0-vs-H1 test, reusing the gene's
+// cached encode+compress product when present.
+func runGene(g *Gene, opts Options) GeneResult {
+	res := GeneResult{Name: g.Name}
+	an, err := newGeneAnalysis(g, opts)
+	if err != nil {
+		res.Err = fmt.Errorf("gene %s: %w", g.Name, err)
+		return res
+	}
+	defer an.Close()
+	r, err := an.Run()
+	if err != nil {
+		res.Err = fmt.Errorf("gene %s: %w", g.Name, err)
+		return res
+	}
+	res.Result = r
+	return res
+}
+
+// streamedFrequencies is pass one of the shared-frequency path: it
+// streams every gene once, pooling codon counts with the batch's Freq
+// estimator, then rewinds the source. Each gene's encode+compress
+// product is cached on the Gene, so sources that replay the same Gene
+// values (SliceSource — hence RunBatch) encode exactly once across
+// both passes; sources that reload genes from disk (ManifestSource)
+// pay one extra encode per gene, never O(collection) memory.
+func streamedFrequencies(src ReplayableSource, opts *Options) ([]float64, error) {
+	gc := opts.Code
+	if opts.Freq == FreqUniform {
+		return codon.UniformFrequencies(gc), nil
+	}
+	codonCounts := make([]float64, gc.NumStates())
+	var nucCounts [3][4]float64
+	for {
+		g, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("core: gene source: %w", err)
+		}
+		if g == nil {
+			break
+		}
+		if g.loadErr != nil {
+			// The gene will surface its load error as a result row in
+			// pass two; it just contributes no counts to the pool.
+			continue
+		}
+		pats, _, err := g.Patterns(gc)
+		if err != nil {
+			return nil, fmt.Errorf("gene %s: %w", g.Name, err)
+		}
+		switch opts.Freq {
+		case FreqF61:
+			for i, v := range pats.CountCodonsCompressed() {
+				codonCounts[i] += v
+			}
+		case FreqF3x4:
+			nc := pats.NucCountsByPositionCompressed()
+			for p := range nc {
+				for b := range nc[p] {
+					nucCounts[p][b] += nc[p][b]
+				}
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown frequency estimator %d", opts.Freq)
+		}
+	}
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("core: gene source reset: %w", err)
+	}
+	if opts.Freq == FreqF3x4 {
+		return codon.F3x4(gc, nucCounts)
+	}
+	return codon.F61(gc, codonCounts)
+}

@@ -30,6 +30,14 @@
 // length (as the optimizer's numerical gradient does for every branch)
 // only recomputes the path from that branch to the root.
 //
+// Eigendecompositions can additionally be memoized in a DecompCache
+// shared across engines and genes. The cache key is the genetic
+// code's identity plus the exact (κ, ω) pair and a verified
+// fingerprint of π: a hit returns precisely the decomposition that
+// would have been recomputed, so caching (like the worker pool) can
+// reorder work but never change a likelihood, and one cache safely
+// serves mixed-code batches.
+//
 // An Engine is not safe for concurrent use; concurrency lives inside
 // LogLikelihood / BranchLogLikelihood (and across engines sharing a
 // Pool).

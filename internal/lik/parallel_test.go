@@ -292,6 +292,36 @@ func TestDecompCacheEviction(t *testing.T) {
 	}
 }
 
+// Two genetic codes with identical (κ, ω, π) must not collide in the
+// cache: the exchangeability structure follows the code, so a
+// decomposition cached under one code would be wrong under another.
+// This makes one cache safe for mixed-code manifests.
+func TestDecompCacheCodeIdentity(t *testing.T) {
+	clone := codon.NewCode("universal-clone", codon.Universal.AminoAcids())
+	r1, err := codon.NewRate(codon.Universal, 2, 0.5, codon.UniformFrequencies(codon.Universal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same κ and ω; the clone has the same 61 sense codons, so the
+	// uniform π vectors are element-for-element identical.
+	r2, err := codon.NewRate(clone, 2, 0.5, codon.UniformFrequencies(clone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewDecompCache(4)
+	d1, err := expm.Decompose(r1.S, r1.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(r1, d1)
+	if got := cache.Get(r2); got != nil {
+		t.Fatal("decomposition cached under one genetic code served another code with identical (κ, ω, π)")
+	}
+	if got := cache.Get(r1); got != d1 {
+		t.Fatal("cache lost the original code's entry")
+	}
+}
+
 // Close must be idempotent, for both engine-owned and shared pools.
 func TestPoolCloseIdempotent(t *testing.T) {
 	f := smallFixture(t, bsm.H1, h1Params())

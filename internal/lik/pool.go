@@ -82,11 +82,15 @@ func (p *Pool) Run(tasks []func()) {
 	wg.Wait()
 }
 
-// decompKey identifies a rate matrix by its exact parameters: κ, ω,
-// and a fingerprint of the frequency vector π (whose full contents are
-// verified on lookup, so a fingerprint collision degrades to a cache
-// miss, never a wrong decomposition).
+// decompKey identifies a rate matrix by its exact parameters: the
+// genetic code it was built under (by identity — exchangeabilities
+// follow the code, so identical (κ, ω, π) under two codes are
+// different matrices), κ, ω, and a fingerprint of the frequency
+// vector π (whose full contents are verified on lookup, so a
+// fingerprint collision degrades to a cache miss, never a wrong
+// decomposition).
 type decompKey struct {
+	code         *codon.GeneticCode
 	piHash       uint64
 	kappa, omega float64
 }
@@ -107,9 +111,10 @@ type decompEntry struct {
 //
 // Cached *expm.Decomposition values are immutable after construction
 // and safe for concurrent use (each engine owns its scratch
-// workspace), so one cache may serve concurrent engines. A cache must
-// not be shared across genetic codes: the key identifies (κ, ω, π)
-// only, and the exchangeability structure follows the code.
+// workspace), so one cache may serve concurrent engines. The key
+// carries the genetic code's identity alongside (κ, ω, π) — the
+// exchangeability structure follows the code — so one cache is safe
+// for mixed-code batches and manifests.
 type DecompCache struct {
 	mu      sync.Mutex
 	max     int
@@ -146,7 +151,7 @@ func rateKey(r *codon.Rate) decompKey {
 			h *= prime
 		}
 	}
-	return decompKey{piHash: h, kappa: r.Kappa, omega: r.Omega}
+	return decompKey{code: r.Code, piHash: h, kappa: r.Kappa, omega: r.Omega}
 }
 
 func sameVec(a, b []float64) bool {

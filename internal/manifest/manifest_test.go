@@ -1,0 +1,172 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `# selectome export
+g1	aln/g1.fasta	trees/g1.nwk
+
+g2  aln/g2.phy   trees/g2.nwk
+`
+	entries, err := Parse(strings.NewReader(in), "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	want := Entry{Name: "g1", AlignPath: "/data/aln/g1.fasta", TreePath: "/data/trees/g1.nwk"}
+	if entries[0] != want {
+		t.Fatalf("entry 0 = %+v, want %+v", entries[0], want)
+	}
+	if entries[1].Name != "g2" || entries[1].AlignPath != "/data/aln/g2.phy" {
+		t.Fatalf("entry 1 = %+v", entries[1])
+	}
+}
+
+func TestParseAbsolutePathsKept(t *testing.T) {
+	entries, err := Parse(strings.NewReader("g1 /abs/a.fasta /abs/t.nwk\n"), "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].AlignPath != "/abs/a.fasta" {
+		t.Fatalf("absolute path rewritten: %s", entries[0].AlignPath)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing tree field": "g1 aln.fasta\n",
+		"extra field":        "g1 aln.fasta t.nwk spare\n",
+		"duplicate name":     "g1 a.fasta t.nwk\ng1 b.fasta u.nwk\n",
+		"empty manifest":     "# only comments\n\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in), ""); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+// writeScanDir lays out a valid two-gene directory and returns it.
+func writeScanDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, f := range []string{"g1.fasta", "g1.nwk", "g2.phy", "g2.tree"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoad(t *testing.T) {
+	dir := writeScanDir(t)
+	maniPath := filepath.Join(dir, "genes.manifest")
+	body := "g1\tg1.fasta\tg1.nwk\ng2\tg2.phy\tg2.tree\n"
+	if err := os.WriteFile(maniPath, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Load(maniPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	// Paths must be resolved against the manifest's directory.
+	if entries[0].AlignPath != filepath.Join(dir, "g1.fasta") {
+		t.Fatalf("alignment path not resolved: %s", entries[0].AlignPath)
+	}
+}
+
+func TestLoadBadPath(t *testing.T) {
+	dir := writeScanDir(t)
+	maniPath := filepath.Join(dir, "genes.manifest")
+	if err := os.WriteFile(maniPath, []byte("g1\tg1.fasta\tmissing.nwk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(maniPath); err == nil {
+		t.Fatal("manifest referencing a missing tree file accepted")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := writeScanDir(t)
+	entries := []Entry{
+		{Name: "g1", AlignPath: filepath.Join(dir, "g1.fasta"), TreePath: filepath.Join(dir, "g1.nwk")},
+		{Name: "g2", AlignPath: filepath.Join(dir, "g2.phy"), TreePath: filepath.Join(dir, "g2.tree")},
+	}
+	maniPath := filepath.Join(dir, "rt.manifest")
+	if err := WriteFile(maniPath, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(maniPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("round trip lost entries: %d != %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+// Write must refuse entries Parse cannot round-trip, instead of
+// emitting a manifest that fails (or drops rows) on load.
+func TestWriteRejectsUnparseable(t *testing.T) {
+	cases := map[string]Entry{
+		"space in path":   {Name: "g1", AlignPath: "my aln.fasta", TreePath: "t.nwk"},
+		"space in name":   {Name: "gene one", AlignPath: "a.fasta", TreePath: "t.nwk"},
+		"empty tree path": {Name: "g1", AlignPath: "a.fasta", TreePath: ""},
+		"comment name":    {Name: "#g1", AlignPath: "a.fasta", TreePath: "t.nwk"},
+	}
+	for name, e := range cases {
+		var sb strings.Builder
+		if err := Write(&sb, []Entry{e}); err == nil {
+			t.Errorf("%s: accepted %+v", name, e)
+		}
+	}
+}
+
+func TestScanDir(t *testing.T) {
+	dir := writeScanDir(t)
+	entries, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	// ReadDir sorts, so order is deterministic.
+	if entries[0].Name != "g1" || entries[1].Name != "g2" {
+		t.Fatalf("unexpected names: %s, %s", entries[0].Name, entries[1].Name)
+	}
+	if entries[1].TreePath != filepath.Join(dir, "g2.tree") {
+		t.Fatalf("g2 tree not paired: %s", entries[1].TreePath)
+	}
+}
+
+func TestScanDirMissingTree(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "lonely.fasta"), []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanDir(dir); err == nil {
+		t.Fatal("alignment without a tree file accepted")
+	}
+}
+
+func TestScanDirEmpty(t *testing.T) {
+	if _, err := ScanDir(t.TempDir()); err == nil {
+		t.Fatal("directory without alignments accepted")
+	}
+}
