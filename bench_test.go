@@ -364,6 +364,55 @@ func BenchmarkParallelEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkRefreshTransitions times the transition-matrix phase — the
+// rebuild of every branch's P(t) products after a full invalidation,
+// exactly what the optimizer's full-gradient re-installs trigger —
+// serially and on the block pool, at increasing branch counts (the
+// dataset iv family at 8/16/32 species; the per-run "branches" metric
+// reports the exact count). Since
+// PR 3 this phase runs as per-(branch, slot) tasks on worker-indexed
+// expm workspaces, so it parallelizes like the pruning tiles; the
+// rebuilt matrices are bit-identical in every row. The README records
+// the measured table with the machine's GOMAXPROCS.
+func BenchmarkRefreshTransitions(b *testing.B) {
+	for _, species := range []int{8, 16, 32} {
+		fx, err := bench.NewEvalFixture("iv", species, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := core.EngineSlim.LikConfig()
+		run := func(b *testing.B, cfg lik.Config) {
+			eng, err := fx.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			lens := eng.BranchLengths()
+			branches := eng.BranchIDs()
+			eng.RefreshTransitions() // warm workspaces outside the timed region
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, v := range branches {
+					lens[v] *= 1.0000001
+				}
+				if err := eng.SetBranchLengths(lens); err != nil {
+					b.Fatal(err)
+				}
+				eng.RefreshTransitions()
+			}
+			b.ReportMetric(float64(len(branches)), "branches")
+		}
+		b.Run(fmt.Sprintf("species_%d/serial", species), func(b *testing.B) { run(b, base) })
+		for _, workers := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("species_%d/block-pool-%dw", species, workers), func(b *testing.B) {
+				cfg := base
+				cfg.Workers = workers
+				run(b, cfg)
+			})
+		}
+	}
+}
+
 // BenchmarkBatchDriver measures the multi-gene batch driver against
 // running the same genes back-to-back: shared workers, shared
 // eigendecomposition cache, pooled frequencies.

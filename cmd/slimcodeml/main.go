@@ -26,6 +26,11 @@
 // 2×jobs), fitted concurrently, and written to -out in manifest order
 // as JSON Lines or TSV (-outfmt, or by the -out extension); peak
 // memory is O(prefetch), not O(genes).
+//
+// -shard i/n (streaming modes) restricts the run to the i-th of n
+// deterministic contiguous row ranges of the manifest — the multi-host
+// scale-out unit: launch one process per shard on the same manifest
+// and concatenate the JSONL outputs to recover the full run.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 		treePath  = flag.String("tree", "", "Newick tree file with one branch marked #1")
 		maniPath  = flag.String("manifest", "", "streaming mode: manifest file with one 'name alignment-path tree-path' row per gene")
 		dirPath   = flag.String("dir", "", "streaming mode: directory pairing NAME.{fasta,fa,fna,phy,phylip} with NAME.{nwk,tree,newick}")
+		shard     = flag.String("shard", "", "streaming mode: run only shard i of n (\"i/n\", 1-based) of the manifest rows — one process per shard scales a manifest across machines; JSONL outputs concatenate")
 		outPath   = flag.String("out", "", "streaming mode: results file (.jsonl or .tsv; empty = TSV on stdout)")
 		outFmt    = flag.String("outfmt", "auto", "streaming output format: jsonl, tsv or auto (by -out extension)")
 		prefetch  = flag.Int("prefetch", 0, "streaming mode: max genes resident at once (0 = 2×jobs)")
@@ -90,8 +96,11 @@ func main() {
 		if *beb > 0 {
 			fmt.Fprintln(os.Stderr, "slimcodeml: -beb applies to single-gene mode only; ignoring it for this stream")
 		}
-		err = runStream(*maniPath, *dirPath, *format, opts, *jobs, *workers, *prefetch, *shareFreq, *outPath, *outFmt)
+		err = runStream(*maniPath, *dirPath, *format, opts, *jobs, *workers, *prefetch, *shareFreq, *shard, *outPath, *outFmt)
 	default:
+		if *shard != "" {
+			fmt.Fprintln(os.Stderr, "slimcodeml: -shard applies to -manifest/-dir mode only; ignoring it")
+		}
 		seqPaths := strings.Split(*seqPath, ",")
 		if len(seqPaths) > 1 {
 			if *beb > 0 {
@@ -113,8 +122,10 @@ func main() {
 
 // runStream drives the manifest/directory front end: genes stream
 // through core.RunBatchStream's bounded prefetch window and results
-// stream to the output file in manifest order.
-func runStream(maniPath, dirPath, format string, opts core.Options, jobs, workers, prefetch int, shareFreq bool, outPath, outFmt string) error {
+// stream to the output file in manifest order. A -shard spec slices
+// the parsed manifest to its deterministic row range before anything
+// streams, so n cooperating processes cover the manifest exactly once.
+func runStream(maniPath, dirPath, format string, opts core.Options, jobs, workers, prefetch int, shareFreq bool, shard, outPath, outFmt string) error {
 	var entries []manifest.Entry
 	var err error
 	if maniPath != "" {
@@ -124,6 +135,21 @@ func runStream(maniPath, dirPath, format string, opts core.Options, jobs, worker
 	}
 	if err != nil {
 		return err
+	}
+	shardNote := ""
+	if shard != "" {
+		idx, count, err := manifest.ParseShard(shard)
+		if err != nil {
+			return err
+		}
+		total := len(entries)
+		if entries, err = manifest.Shard(entries, idx, count); err != nil {
+			return err
+		}
+		shardNote = fmt.Sprintf(" (shard %d/%d of %d rows)", idx, count, total)
+		// An empty shard (count > rows) is not an error, and it still
+		// runs the stream so -out is created: a one-file-per-shard
+		// collector must find every part file, even empty ones.
 	}
 	afmt, err := align.ParseFormat(format)
 	if err != nil {
@@ -165,7 +191,7 @@ func runStream(maniPath, dirPath, format string, opts core.Options, jobs, worker
 		return fmt.Errorf("unknown output format %q (want jsonl or tsv)", outFmt)
 	}
 
-	fmt.Fprintf(status, "SlimCodeML streaming batch: %d genes, %s engine\n", len(entries), opts.Engine)
+	fmt.Fprintf(status, "SlimCodeML streaming batch: %d genes%s, %s engine\n", len(entries), shardNote, opts.Engine)
 	summary, err := core.RunBatchStream(core.NewManifestSource(entries, afmt), sink, core.StreamOptions{
 		BatchOptions: core.BatchOptions{
 			Options:          opts,

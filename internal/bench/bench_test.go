@@ -176,3 +176,49 @@ func TestParallelSweep(t *testing.T) {
 		t.Fatalf("table missing block-pool row:\n%s", buf.String())
 	}
 }
+
+// The transition sweep harness must time the serial and pooled
+// transition phases, and the pooled rebuild must leave the engine
+// computing the identical likelihood.
+func TestTransitionSweep(t *testing.T) {
+	fx, err := NewEvalFixture("i", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.EngineSlim.LikConfig()
+	sweep, err := RunTransitionSweep(fx, base, []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Serial <= 0 || len(sweep.Points) != 2 || sweep.Branches == 0 || sweep.Tasks < sweep.Branches {
+		t.Fatalf("incomplete sweep: %+v", sweep)
+	}
+	for _, p := range sweep.Points {
+		if p.Refresh <= 0 || !(p.SpeedupVsSerial > 0) {
+			t.Fatalf("bad point: %+v", p)
+		}
+	}
+
+	serial, err := fx.NewEngine(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.LogLikelihood()
+	par := base
+	par.Workers = 2
+	eng, err := fx.NewEngine(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.RefreshTransitions() // pooled build of every branch
+	if got := eng.LogLikelihood(); got != want {
+		t.Fatalf("pooled transitions changed lnL: %0.17g != serial %0.17g", got, want)
+	}
+
+	var buf strings.Builder
+	PrintTransitionSweep(&buf, sweep)
+	if !strings.Contains(buf.String(), "block-pool 2 workers") {
+		t.Fatalf("table missing block-pool row:\n%s", buf.String())
+	}
+}

@@ -148,6 +148,99 @@ func RunParallelSweep(f *EvalFixture, base lik.Config, workerCounts []int, evals
 	return out, nil
 }
 
+// TransitionPoint is one worker count's pooled transition-phase
+// timing.
+type TransitionPoint struct {
+	Workers int
+	Refresh time.Duration
+	// SpeedupVsSerial is serialRefresh / pooledRefresh: >1 means the
+	// pooled transition phase beats the serial rebuild.
+	SpeedupVsSerial float64
+}
+
+// TransitionSweep compares the transition-matrix phase — rebuilding
+// every branch's P(t) products after a full invalidation, the work a
+// full-gradient re-install triggers — serially and on the block pool.
+type TransitionSweep struct {
+	Branches int
+	Tasks    int // (branch, slot) builds per refresh
+	Serial   time.Duration
+	Points   []TransitionPoint
+}
+
+// timeRefresh measures the mean wall time of rebuilding every branch's
+// transition matrices from a fully dirty state.
+func timeRefresh(eng *lik.Engine, evals int) (time.Duration, error) {
+	lens := eng.BranchLengths()
+	dirtyAll := func() error {
+		for _, v := range eng.BranchIDs() {
+			lens[v] *= 1.0000001
+		}
+		return eng.SetBranchLengths(lens)
+	}
+	if err := dirtyAll(); err != nil { // warm workspaces outside the timed region
+		return 0, err
+	}
+	eng.RefreshTransitions()
+	start := time.Now()
+	for i := 0; i < evals; i++ {
+		if err := dirtyAll(); err != nil {
+			return 0, err
+		}
+		eng.RefreshTransitions()
+	}
+	return time.Since(start) / time.Duration(evals), nil
+}
+
+// RunTransitionSweep times the transition phase with evals full
+// refreshes each, serial first, then pooled at each worker count. The
+// rebuilt matrices are bit-identical in every configuration; only the
+// scheduling differs.
+func RunTransitionSweep(f *EvalFixture, base lik.Config, workerCounts []int, evals int) (*TransitionSweep, error) {
+	serial, err := f.NewEngine(base)
+	if err != nil {
+		return nil, err
+	}
+	out := &TransitionSweep{Branches: len(serial.BranchIDs())}
+	before := serial.Stats().TransitionBuilds
+	serial.RefreshTransitions()
+	out.Tasks = serial.Stats().TransitionBuilds - before
+	if out.Serial, err = timeRefresh(serial, evals); err != nil {
+		return nil, err
+	}
+	for _, w := range workerCounts {
+		cfg := base
+		cfg.Workers = w
+		eng, err := f.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		d, err := timeRefresh(eng, evals)
+		eng.Close()
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, TransitionPoint{
+			Workers:         w,
+			Refresh:         d,
+			SpeedupVsSerial: ratio(out.Serial.Seconds(), d.Seconds()),
+		})
+	}
+	return out, nil
+}
+
+// PrintTransitionSweep writes the sweep as the table the repository
+// README records.
+func PrintTransitionSweep(w io.Writer, s *TransitionSweep) {
+	fmt.Fprintf(w, "Transition phase — full rebuild of %d branches (%d builds) per strategy\n", s.Branches, s.Tasks)
+	fmt.Fprintf(w, "%-24s %14s %10s\n", "strategy", "refresh", "vs serial")
+	fmt.Fprintf(w, "%-24s %14s %10s\n", "serial", s.Serial, "1.00")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%-24s %14s %10.2f\n",
+			fmt.Sprintf("block-pool %d workers", p.Workers), p.Refresh, p.SpeedupVsSerial)
+	}
+}
+
 // PrintParallelSweep writes the sweep as the speedup table the
 // repository README records.
 func PrintParallelSweep(w io.Writer, s *ParallelSweep) {

@@ -29,9 +29,13 @@
 //
 //   - Serial engine: one Analysis, one goroutine (Options.Workers = 0).
 //     The reference arithmetic.
-//   - Block-pool engine: one Analysis whose likelihood evaluations run
-//     as (class × pattern-block) tiles on a worker pool
-//     (Options.Workers > 0, or a shared lik.Pool in a batch).
+//   - Block-pool engine: one Analysis whose likelihood work runs on a
+//     worker pool with worker-indexed scratch (Options.Workers > 0, or
+//     a shared lik.Pool in a batch) — pruning as
+//     (class × pattern-block) tiles, the transition-matrix phase as
+//     per-(branch, slot) builds, and SetModel eigendecompositions as
+//     per-slot tasks, so no serial kernel phase remains between
+//     optimizer iterations.
 //   - Streaming batch: many genes pulled through a bounded prefetch
 //     window by RunBatchStream (RunBatch is its in-memory wrapper),
 //     fitted concurrently on one shared pool and one shared
@@ -42,8 +46,8 @@
 //
 //   - Bit-identity: for fixed Options, every tier produces the same
 //     log-likelihoods bit-for-bit — parallelism reorders independent
-//     work, never the arithmetic (disjoint tile buffers, serial
-//     in-order reductions).
+//     work, never the arithmetic (disjoint tile and transition-matrix
+//     buffers, per-worker scratch, serial in-order reductions).
 //   - Cache safety: the shared lik.DecompCache keys decompositions on
 //     the genetic code's identity plus the exact (κ, ω, π), so cache
 //     hits can never substitute a decomposition from another code or

@@ -73,20 +73,86 @@ type Decomposition struct {
 }
 
 // Workspace holds the scratch matrices one goroutine needs to build
-// P(t) or the symmetric kernel M(t) without allocating.
+// P(t) or the symmetric kernel M(t) without allocating. A Workspace is
+// resizable: PMatrix and SymKernel re-view it for the decomposition's
+// dimension on entry, growing the backing buffers only when a larger
+// state space than any seen before arrives. One workspace can
+// therefore serve models of mixed sizes (e.g. the 61-state universal
+// and 60-state mitochondrial codes in one batch) without churn.
 type Workspace struct {
-	y *mat.Matrix // X with scaled columns
-	z *mat.Matrix // Z = e^{At} or intermediate
-	d []float64   // scaled exponentials of eigenvalues
+	n          int
+	y          *mat.Matrix // X with scaled columns (view into ybuf)
+	z          *mat.Matrix // Z = e^{At} or intermediate (view into zbuf)
+	d          []float64   // scaled exponentials of eigenvalues
+	ybuf, zbuf []float64
+}
+
+// NewWorkspace returns scratch space for n-state models. It grows on
+// demand (see Resize), so n is a starting size, not a limit.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.Resize(n)
+	return w
 }
 
 // NewWorkspace returns scratch space sized for d.
 func (d *Decomposition) NewWorkspace() *Workspace {
-	return &Workspace{
-		y: mat.New(d.n, d.n),
-		z: mat.New(d.n, d.n),
-		d: make([]float64, d.n),
+	return NewWorkspace(d.n)
+}
+
+// Resize re-views the workspace for n-state models, reallocating the
+// backing buffers only when n exceeds every size seen before. Cheap
+// when n is unchanged (the common case: one model size per engine).
+func (w *Workspace) Resize(n int) {
+	if n == w.n {
+		return
 	}
+	if cap(w.ybuf) < n*n {
+		w.ybuf = make([]float64, n*n)
+		w.zbuf = make([]float64, n*n)
+	}
+	if cap(w.d) < n {
+		w.d = make([]float64, n)
+	}
+	w.n = n
+	w.y = mat.NewFromSlice(n, n, w.ybuf[:n*n])
+	w.z = mat.NewFromSlice(n, n, w.zbuf[:n*n])
+	w.d = w.d[:n]
+}
+
+// Arena is a worker-indexed set of Workspaces: slot i belongs to the
+// goroutine currently holding worker ID i of an executor (lik.Pool
+// hands out such IDs; a pool-less engine is its own single worker).
+// Because each slot is touched only by its current holder, At needs no
+// locking — the arena is safe for concurrent use across workers, and
+// one arena serves every engine sharing the executor, lazily sized per
+// worker to the largest state space that worker has seen.
+type Arena struct {
+	ws []*Workspace
+}
+
+// NewArena returns an arena with the given number of worker slots.
+func NewArena(slots int) *Arena {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Arena{ws: make([]*Workspace, slots)}
+}
+
+// Slots returns the number of worker slots.
+func (a *Arena) Slots() int { return len(a.ws) }
+
+// At returns worker's workspace, resized for n-state models. It must
+// only be called by the goroutine currently holding that worker ID.
+func (a *Arena) At(worker, n int) *Workspace {
+	w := a.ws[worker]
+	if w == nil {
+		w = NewWorkspace(n)
+		a.ws[worker] = w
+		return w
+	}
+	w.Resize(n)
+	return w
 }
 
 // Decompose symmetrizes the factored rate matrix (S, π) per Eq. 2 and
@@ -149,6 +215,7 @@ func (d *Decomposition) PMatrix(t float64, method Method, dst *mat.Matrix, ws *W
 	if dst.Rows != d.n || dst.Cols != d.n {
 		panic("expm: PMatrix output dimension mismatch")
 	}
+	ws.Resize(d.n)
 	switch method {
 	case MethodGEMM, MethodNaiveGEMM:
 		// Eq. 9: Ỹ = X·e^{Λt}; Z = Ỹ·Xᵀ.
@@ -200,6 +267,7 @@ func (d *Decomposition) SymKernel(t float64, dst *mat.Matrix, ws *Workspace) {
 	if dst.Rows != d.n || dst.Cols != d.n {
 		panic("expm: SymKernel output dimension mismatch")
 	}
+	ws.Resize(d.n)
 	for i, l := range d.lambda {
 		ws.d[i] = math.Exp(l * t / 2)
 	}

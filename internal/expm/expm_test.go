@@ -296,3 +296,60 @@ func TestTimeScaling(t *testing.T) {
 		t.Fatal("time scaling inconsistent")
 	}
 }
+
+// A workspace resized between state spaces must produce bit-identical
+// matrices to a freshly allocated one — the contract the worker-
+// indexed Arena relies on when engines of mixed codon-code sizes share
+// one pool.
+func TestWorkspaceResizeBitIdentical(t *testing.T) {
+	r := testRate(t, 2, 0.5, 7)
+	d := decompose(t, r)
+	n := d.N()
+
+	fresh := d.NewWorkspace()
+	pFresh := mat.New(n, n)
+	d.PMatrix(0.37, MethodSYRK, pFresh, fresh)
+	mFresh := mat.New(n, n)
+	d.SymKernel(0.37, mFresh, fresh)
+
+	// Start tiny, grow through the 61-state build, shrink, regrow:
+	// every PMatrix/SymKernel call re-views the workspace itself.
+	shared := NewWorkspace(2)
+	for _, sz := range []int{2, n, 3, n} {
+		shared.Resize(sz)
+		p := mat.New(n, n)
+		d.PMatrix(0.37, MethodSYRK, p, shared)
+		for i := range p.Data {
+			if p.Data[i] != pFresh.Data[i] {
+				t.Fatalf("after Resize(%d): PMatrix differs at %d: %g != %g", sz, i, p.Data[i], pFresh.Data[i])
+			}
+		}
+		m := mat.New(n, n)
+		d.SymKernel(0.37, m, shared)
+		for i := range m.Data {
+			if m.Data[i] != mFresh.Data[i] {
+				t.Fatalf("after Resize(%d): SymKernel differs at %d", sz, i)
+			}
+		}
+	}
+}
+
+// Arena slots are independent: growing one worker's workspace leaves
+// the others untouched, and out-of-range slots are the caller's bug.
+func TestArenaSlots(t *testing.T) {
+	a := NewArena(3)
+	if a.Slots() != 3 {
+		t.Fatalf("Slots = %d, want 3", a.Slots())
+	}
+	w0 := a.At(0, 61)
+	w1 := a.At(1, 4)
+	if w0 == w1 {
+		t.Fatal("two workers share a workspace")
+	}
+	if a.At(0, 61) != w0 || a.At(1, 60) != w1 {
+		t.Fatal("arena reallocated a live slot")
+	}
+	if NewArena(0).Slots() != 1 {
+		t.Fatal("degenerate arena has no slot")
+	}
+}

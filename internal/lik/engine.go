@@ -17,12 +17,24 @@
 //
 //   - serial — one goroutine walks every class over every pattern;
 //   - class — one goroutine per site class (at most 4-way);
-//   - block-pool — a persistent worker Pool executes
-//     (class × pattern-block) tiles: the compressed pattern range is
-//     split into cache-sized blocks and every kernel operates on
-//     sub-ranges. Per-block contributions are combined by a
-//     deterministic serial reduction, so the result is bit-identical
-//     to the serial path for any worker count and block size.
+//   - block-pool — a persistent worker Pool executes the engine's
+//     independent work units under worker-indexed scratch. Pruning
+//     runs as (class × pattern-block) tiles: the compressed pattern
+//     range is split into cache-sized blocks and every kernel operates
+//     on sub-ranges. The transition-matrix phase runs as
+//     per-(branch, slot) tasks writing disjoint P(t) matrices, and
+//     SetModel's eigendecompositions (on decomposition-cache miss) run
+//     as per-slot tasks — so no serial phase remains between optimizer
+//     iterations. Per-task contributions are combined by deterministic
+//     serial reductions, so the result is bit-identical to the serial
+//     path for any worker count and block size.
+//
+// Mutable kernel scratch (expm workspaces, apply-mode vectors) is
+// owned per worker ID: pool workers and inline-executing submitters
+// each hold a stable ID into the pool's scratch arenas, while a
+// pool-less engine owns a single-slot arena and executes everything as
+// worker 0. No scratch is ever shared between two concurrently running
+// tasks.
 //
 // The engine caches one "message" per branch and site class — the
 // child's conditional probability vector propagated through the
@@ -99,7 +111,8 @@ type Config struct {
 	// Parallel prunes the four site classes concurrently — the seed
 	// engine's class-level parallelism, kept as a comparison point.
 	// Superseded by Workers/Pool, which parallelize over
-	// (class × pattern-block) tiles instead of classes only.
+	// (class × pattern-block) tiles and per-(branch, slot) transition
+	// builds instead of classes only.
 	Parallel bool
 	// Workers > 0 selects the block-pool engine with an engine-owned
 	// pool of that many persistent workers (call Close to release
@@ -164,7 +177,9 @@ type Engine struct {
 	maxDepth int
 
 	// Block-pool execution: blocks partitions [0, npat); pool is the
-	// engine-owned or shared worker pool (nil → no block parallelism).
+	// engine-owned or shared worker-indexed pool (nil → everything
+	// runs inline on the calling goroutine as worker 0 of the
+	// engine-owned arena).
 	blocks   []blockRange
 	pool     *Pool
 	ownsPool bool
@@ -177,9 +192,12 @@ type Engine struct {
 	numClasses int
 	numSlots   int
 	decomps    []*expm.Decomposition
-	ws         *expm.Workspace
-	pi         []float64
-	props      []float64
+	// arena is the single-slot scratch of a pool-less engine (the
+	// calling goroutine is worker 0); engines with a pool use the
+	// pool's shared per-worker arena instead.
+	arena *expm.Arena
+	pi    []float64
+	props []float64
 
 	brLen  []float64 // by node id; root entry unused
 	pDirty []bool
@@ -209,11 +227,6 @@ type Engine struct {
 	scrScale2    [][]float64
 	scrRootScale [][]float64
 	vecScratch   [][]float64
-
-	// tileScratch[c*len(blocks)+b] is the per-tile n-vector scratch of
-	// the SYMV apply; block-indexed tasks (the branch path walk) use
-	// the first numClasses-agnostic stripe tileScratch[b].
-	tileScratch [][]float64
 
 	// siteLnL[p] is pattern p's weighted log-likelihood contribution,
 	// filled per block and reduced serially so the total is identical
@@ -318,6 +331,8 @@ func New(t *newick.Tree, pats *align.Patterns, names []string, cfg Config) (*Eng
 	case cfg.Workers > 0:
 		e.pool = NewPool(cfg.Workers)
 		e.ownsPool = true
+	default:
+		e.arena = expm.NewArena(1)
 	}
 	e.siteLnL = make([]float64, e.npat)
 
@@ -326,12 +341,15 @@ func New(t *newick.Tree, pats *align.Patterns, names []string, cfg Config) (*Eng
 
 // Close releases the engine-owned worker pool, if any. Engines using a
 // shared Pool (Config.Pool) leave it running; engines without a pool
-// need no Close. Safe to call multiple times.
+// need no Close. Safe to call multiple times. A closed engine remains
+// usable: it falls back to serial execution as worker 0 of its own
+// arena.
 func (e *Engine) Close() {
 	if e.ownsPool {
 		e.pool.Close()
 		e.ownsPool = false
 		e.pool = nil
+		e.arena = expm.NewArena(1)
 	}
 }
 
@@ -377,10 +395,29 @@ func (e *Engine) ensureBuffers(numClasses, numSlots int) {
 		e.scrRootScale[c] = make([]float64, e.npat)
 		e.vecScratch[c] = make([]float64, e.n)
 	}
-	e.tileScratch = make([][]float64, numClasses*len(e.blocks))
-	for i := range e.tileScratch {
-		e.tileScratch[i] = make([]float64, e.n)
+}
+
+// runTasks executes task(worker, i) for every i in [0, n): on the
+// attached pool's worker-indexed executor when one is present, else
+// inline on the calling goroutine as worker 0 of the engine-owned
+// scratch arena.
+func (e *Engine) runTasks(n int, task func(worker, i int)) {
+	if e.pool != nil {
+		e.pool.Run(n, task)
+		return
 	}
+	for i := 0; i < n; i++ {
+		task(0, i)
+	}
+}
+
+// workspace returns the expm scratch of the given worker ID, sized for
+// this engine's state space.
+func (e *Engine) workspace(worker int) *expm.Workspace {
+	if e.pool != nil {
+		return e.pool.Workspace(worker, e.n)
+	}
+	return e.arena.At(worker, e.n)
 }
 
 // NumPatterns returns the number of compressed site patterns.
@@ -411,7 +448,10 @@ func (e *Engine) Stats() Stats { return e.stats }
 // eigendecompositions (deduplicated by rate-matrix pointer, so an H0
 // model whose ω2 slot aliases ω1 costs one decomposition less, as in
 // CodeML, and looked up in Config.Decomps when a cache is attached)
-// and invalidating every cached transition matrix.
+// and invalidating every cached transition matrix. Decompositions the
+// cache does not supply are computed through the same pooled phase as
+// the transition builds — one task per distinct rate matrix — so even
+// a model install has no serial kernel work when a pool is attached.
 func (e *Engine) SetModel(m Model) error {
 	if m.GeneticCode().NumStates() != e.n {
 		return fmt.Errorf("lik: model has %d states, engine %d", m.GeneticCode().NumStates(), e.n)
@@ -423,34 +463,53 @@ func (e *Engine) SetModel(m Model) error {
 
 	// Reset the decomposition slots: a previous model's decomposition
 	// must never survive into a model that aliases slots differently.
+	// Serial part: dedup by rate pointer and probe the cache.
 	e.decomps = make([]*expm.Decomposition, e.numSlots)
-	seen := make(map[*codon.Rate]*expm.Decomposition, e.numSlots)
+	type decompJob struct {
+		rate  *codon.Rate
+		slots []int
+		d     *expm.Decomposition
+		err   error
+	}
+	byRate := make(map[*codon.Rate]*decompJob, e.numSlots)
+	var misses []*decompJob
 	for slot := 0; slot < e.numSlots; slot++ {
 		rate := m.RateAt(slot)
-		if d, ok := seen[rate]; ok {
-			e.decomps[slot] = d
+		if j, ok := byRate[rate]; ok {
+			j.slots = append(j.slots, slot)
 			continue
 		}
-		var d *expm.Decomposition
+		j := &decompJob{rate: rate, slots: []int{slot}}
 		if e.cfg.Decomps != nil {
-			d = e.cfg.Decomps.Get(rate)
+			j.d = e.cfg.Decomps.Get(rate)
 		}
-		if d == nil {
-			var err error
-			d, err = expm.Decompose(rate.S, rate.Pi)
-			if err != nil {
-				return err
-			}
-			e.stats.Eigendecompositions++
-			if e.cfg.Decomps != nil {
-				e.cfg.Decomps.Put(rate, d)
-			}
+		if j.d == nil {
+			misses = append(misses, j)
 		}
-		seen[rate] = d
-		e.decomps[slot] = d
+		byRate[rate] = j
 	}
-	if e.ws == nil {
-		e.ws = e.decomps[0].NewWorkspace()
+	// Parallel part: one Decompose task per cache miss. Each task
+	// writes only its own job, so any worker interleaving yields the
+	// same decompositions.
+	if len(misses) > 0 {
+		e.stats.Eigendecompositions += len(misses)
+		e.runTasks(len(misses), func(_, i int) {
+			j := misses[i]
+			j.d, j.err = expm.Decompose(j.rate.S, j.rate.Pi)
+		})
+		for _, j := range misses {
+			if j.err != nil {
+				return j.err
+			}
+			if e.cfg.Decomps != nil {
+				e.cfg.Decomps.Put(j.rate, j.d)
+			}
+		}
+	}
+	for _, j := range byRate {
+		for _, slot := range j.slots {
+			e.decomps[slot] = j.d
+		}
 	}
 	for v := range e.pDirty {
 		if v != e.rootID {
@@ -499,9 +558,20 @@ func (e *Engine) neededSlots(v int) []bool {
 	return need
 }
 
-// buildTransition fills dst[w] for the omega indices branch v needs at
-// branch length t.
-func (e *Engine) buildTransition(v int, t float64, dst []*mat.Matrix) {
+// transTask is one unit of the pooled transition phase: build the
+// P(t) (or symmetric-kernel) matrix of one (branch, slot) pair into
+// its own dst. Tasks write disjoint matrices and read only immutable
+// decompositions, so they run concurrently in any order.
+type transTask struct {
+	slot int
+	t    float64 // effective time, model scaling already applied
+	dst  *mat.Matrix
+}
+
+// appendTransTasks appends one task per rate slot branch v needs at
+// branch length t, allocating missing dst matrices (serially, so the
+// parallel phase never mutates the dst slices themselves).
+func (e *Engine) appendTransTasks(tasks []transTask, v int, t float64, dst []*mat.Matrix) []transTask {
 	need := e.neededSlots(v)
 	tEff := e.model.EffectiveTime(t)
 	for w := 0; w < e.numSlots; w++ {
@@ -511,29 +581,70 @@ func (e *Engine) buildTransition(v int, t float64, dst []*mat.Matrix) {
 		if dst[w] == nil {
 			dst[w] = mat.New(e.n, e.n)
 		}
-		if e.cfg.Apply == ApplyPerSiteSYMV {
-			e.decomps[w].SymKernel(tEff, dst[w], e.ws)
-		} else {
-			method := e.cfg.PMethod
-			if e.cfg.Kernel == TierNaive && method == expm.MethodGEMM {
-				method = expm.MethodNaiveGEMM
-			}
-			e.decomps[w].PMatrix(tEff, method, dst[w], e.ws)
-		}
-		e.stats.TransitionBuilds++
+		tasks = append(tasks, transTask{slot: w, t: tEff, dst: dst[w]})
 	}
+	return tasks
+}
+
+// runTransTasks executes the collected transition builds through the
+// worker-indexed executor, each task on its worker's workspace. The
+// matrix a task produces depends only on (decomposition, t, method) —
+// workspaces are fully overwritten — so results are bit-identical to
+// the serial path for any worker count.
+func (e *Engine) runTransTasks(tasks []transTask) {
+	if len(tasks) == 0 {
+		return
+	}
+	e.stats.TransitionBuilds += len(tasks)
+	method := e.cfg.PMethod
+	if e.cfg.Kernel == TierNaive && method == expm.MethodGEMM {
+		method = expm.MethodNaiveGEMM
+	}
+	symv := e.cfg.Apply == ApplyPerSiteSYMV
+	e.runTasks(len(tasks), func(worker, i int) {
+		tk := tasks[i]
+		ws := e.workspace(worker)
+		if symv {
+			e.decomps[tk.slot].SymKernel(tk.t, tk.dst, ws)
+		} else {
+			e.decomps[tk.slot].PMatrix(tk.t, method, tk.dst, ws)
+		}
+	})
+}
+
+// buildTransition fills dst[w] for the omega indices branch v needs at
+// branch length t.
+func (e *Engine) buildTransition(v int, t float64, dst []*mat.Matrix) {
+	e.runTransTasks(e.appendTransTasks(nil, v, t, dst))
 }
 
 // refreshTransitions rebuilds the cached transition matrices of dirty
-// branches.
+// branches as one pooled phase: every dirty (branch, slot) pair is an
+// independent task, so a full-gradient re-install (which dirties all
+// branches) parallelizes over branches × slots instead of serializing
+// O(branches × slots) eigvec products behind one workspace.
 func (e *Engine) refreshTransitions() {
+	var tasks []transTask
 	for v := range e.nodes {
 		if v == e.rootID || !e.pDirty[v] {
 			continue
 		}
-		e.buildTransition(v, e.brLen[v], e.trans[v])
+		tasks = e.appendTransTasks(tasks, v, e.brLen[v], e.trans[v])
 		e.pDirty[v] = false
 	}
+	e.runTransTasks(tasks)
+}
+
+// RefreshTransitions rebuilds the transition matrices of branches
+// whose length or model changed since the last evaluation. It is
+// called implicitly by LogLikelihood and BranchLogLikelihood; it is
+// exported so benchmarks (and drivers that want to front-load the
+// transition phase) can measure or trigger it in isolation.
+func (e *Engine) RefreshTransitions() {
+	if e.model == nil {
+		panic("lik: RefreshTransitions before SetModel")
+	}
+	e.refreshTransitions()
 }
 
 // LogLikelihood runs a full pruning pass and returns the
@@ -547,18 +658,13 @@ func (e *Engine) LogLikelihood() float64 {
 	e.stats.FullEvaluations++
 	switch {
 	case e.pool != nil:
-		// Block-pool: one task per (class × pattern-block) tile.
+		// Block-pool: one task per (class × pattern-block) tile, each
+		// using its worker's scratch vector.
 		nb := len(e.blocks)
-		tasks := make([]func(), 0, e.numClasses*nb)
-		for c := 0; c < e.numClasses; c++ {
-			for bi, blk := range e.blocks {
-				c, blk, scratch := c, blk, e.tileScratch[c*nb+bi]
-				tasks = append(tasks, func() {
-					e.pruneClassRange(c, blk.lo, blk.hi, scratch)
-				})
-			}
-		}
-		e.pool.Run(tasks)
+		e.pool.Run(e.numClasses*nb, func(worker, i int) {
+			blk := e.blocks[i%nb]
+			e.pruneClassRange(i/nb, blk.lo, blk.hi, e.pool.Vec(worker, e.n))
+		})
 	case e.cfg.Parallel:
 		// Legacy class parallelism: at most numClasses goroutines.
 		var wg sync.WaitGroup
@@ -736,14 +842,10 @@ func (e *Engine) applyBranch(tm *mat.Matrix, partial, dst *mat.Matrix, scratch [
 // combination that keeps every execution strategy bit-identical.
 func (e *Engine) combineRoot(partials []*mat.Matrix, scales [][]float64) float64 {
 	if e.pool != nil && len(e.blocks) > 1 {
-		tasks := make([]func(), len(e.blocks))
-		for bi, blk := range e.blocks {
-			blk := blk
-			tasks[bi] = func() {
-				e.combineRootRange(partials, scales, blk.lo, blk.hi)
-			}
-		}
-		e.pool.Run(tasks)
+		e.pool.Run(len(e.blocks), func(_, bi int) {
+			blk := e.blocks[bi]
+			e.combineRootRange(partials, scales, blk.lo, blk.hi)
+		})
 	} else {
 		e.combineRootRange(partials, scales, 0, e.npat)
 	}
@@ -803,14 +905,10 @@ func (e *Engine) BranchLogLikelihood(v int, t float64) float64 {
 	e.buildTransition(v, t, e.scrTrans)
 
 	if e.pool != nil && len(e.blocks) > 1 {
-		tasks := make([]func(), len(e.blocks))
-		for bi, blk := range e.blocks {
-			blk, scratch := blk, e.tileScratch[bi]
-			tasks[bi] = func() {
-				e.branchWalkRange(v, blk.lo, blk.hi, scratch)
-			}
-		}
-		e.pool.Run(tasks)
+		e.pool.Run(len(e.blocks), func(worker, bi int) {
+			blk := e.blocks[bi]
+			e.branchWalkRange(v, blk.lo, blk.hi, e.pool.Vec(worker, e.n))
+		})
 	} else {
 		e.branchWalkRange(v, 0, e.npat, e.vecScratch[0])
 	}

@@ -11,21 +11,37 @@ import (
 )
 
 // Pool is a persistent set of worker goroutines that executes the
-// engine's (class × pattern-block) tiles — the decomposition of the
-// dominant likelihood cost into independent work units that takes the
-// engine from the seed's 4-way class parallelism toward the fully
-// parallel FastCodeML the paper announces (§V-B).
+// engine's independent work units — (class × pattern-block) pruning
+// tiles and per-(branch, slot) transition-matrix builds — the
+// decomposition of the likelihood cost that takes the engine from the
+// seed's 4-way class parallelism toward the fully parallel FastCodeML
+// the paper announces (§V-B).
+//
+// Execution is worker-indexed: every task receives a stable worker ID
+// that indexes per-worker scratch arenas (expm workspaces, apply-mode
+// vectors) owned by the pool and shared by every engine attached to
+// it. IDs 0..NumWorkers()-1 belong to the pool's goroutines; the IDs
+// above them are leased to submitting goroutines for the duration of
+// one Run call, so inline fallback execution carries a worker identity
+// of its own and never races a pool worker's scratch.
 //
 // A Pool may be shared by any number of engines, including engines
 // evaluating concurrently (the multi-gene batch driver in
-// internal/core runs every gene's tiles through one shared pool).
-// Tiles write to disjoint buffers and every reduction is performed
+// internal/core runs every gene's tasks through one shared pool).
+// Tasks write to disjoint buffers and every reduction is performed
 // serially by the submitting engine, so results are bit-identical for
 // any worker count and any interleaving.
 type Pool struct {
 	workers int
-	tasks   chan func()
-	close   sync.Once
+	tasks   chan func(worker int)
+	// subIDs is the free list of submitter worker IDs
+	// (workers..2·workers-1): a Run call that overflows the queue
+	// leases one for its inline executions and returns it before
+	// waiting, bounding the ID space at NumSlots.
+	subIDs chan int
+	arena  *expm.Arena
+	vecs   [][]float64 // per-slot apply scratch, lazily sized
+	close  sync.Once
 }
 
 // NewPool starts a pool with the given number of worker goroutines;
@@ -39,20 +55,45 @@ func NewPool(workers int) *Pool {
 		// Buffer one pending task per worker so a submitting engine
 		// only falls back to inline execution once the pool is
 		// saturated.
-		tasks: make(chan func(), workers),
+		tasks:  make(chan func(worker int), workers),
+		subIDs: make(chan int, workers),
+		arena:  expm.NewArena(2 * workers),
+		vecs:   make([][]float64, 2*workers),
 	}
 	for i := 0; i < workers; i++ {
-		go func() {
+		go func(worker int) {
 			for f := range p.tasks {
-				f()
+				f(worker)
 			}
-		}()
+		}(i)
+		p.subIDs <- workers + i
 	}
 	return p
 }
 
-// NumWorkers returns the pool's worker count.
+// NumWorkers returns the pool's worker goroutine count.
 func (p *Pool) NumWorkers() int { return p.workers }
+
+// NumSlots returns the size of the worker-ID space: pool workers plus
+// submitter leases. Every worker argument a task sees is in
+// [0, NumSlots).
+func (p *Pool) NumSlots() int { return 2 * p.workers }
+
+// Workspace returns worker's expm scratch, sized for n-state models.
+// Like all per-worker scratch it may only be used by the goroutine
+// currently executing as that worker.
+func (p *Pool) Workspace(worker, n int) *expm.Workspace {
+	return p.arena.At(worker, n)
+}
+
+// Vec returns worker's float scratch of length n, under the same
+// ownership rule as Workspace.
+func (p *Pool) Vec(worker, n int) []float64 {
+	if cap(p.vecs[worker]) < n {
+		p.vecs[worker] = make([]float64, n)
+	}
+	return p.vecs[worker][:n]
+}
 
 // Close stops the workers once every already-submitted task has
 // finished. Close is idempotent; Run must not be called after Close.
@@ -60,24 +101,46 @@ func (p *Pool) Close() {
 	p.close.Do(func() { close(p.tasks) })
 }
 
-// Run executes the tasks and blocks until all have completed. When
-// every worker is busy — e.g. several engines sharing the pool — the
-// submitting goroutine executes tasks inline instead of queueing
-// unboundedly, which both bounds memory and recruits the caller's CPU.
-func (p *Pool) Run(tasks []func()) {
+// Run executes task(worker, i) for every i in [0, n) and blocks until
+// all calls have completed. When every worker is busy — e.g. several
+// engines sharing the pool — the submitting goroutine leases a
+// submitter worker ID and executes tasks inline under it instead of
+// queueing unboundedly, which bounds memory, recruits the caller's
+// CPU, and keeps inline scratch disjoint from every pool worker's.
+// If the lease pool is also exhausted (more concurrent submitters than
+// workers), the submitter simply blocks until the queue drains.
+func (p *Pool) Run(n int, task func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
 	var wg sync.WaitGroup
-	wg.Add(len(tasks))
-	for _, f := range tasks {
-		f := f
-		wrapped := func() {
+	wg.Add(n)
+	sub := -1
+	for i := 0; i < n; i++ {
+		i := i
+		wrapped := func(worker int) {
 			defer wg.Done()
-			f()
+			task(worker, i)
 		}
 		select {
 		case p.tasks <- wrapped:
+			continue
 		default:
-			wrapped()
 		}
+		if sub < 0 {
+			select {
+			case sub = <-p.subIDs:
+			default:
+			}
+		}
+		if sub >= 0 {
+			wrapped(sub)
+		} else {
+			p.tasks <- wrapped
+		}
+	}
+	if sub >= 0 {
+		p.subIDs <- sub
 	}
 	wg.Wait()
 }
@@ -110,8 +173,9 @@ type decompEntry struct {
 // across genes makes it effective there).
 //
 // Cached *expm.Decomposition values are immutable after construction
-// and safe for concurrent use (each engine owns its scratch
-// workspace), so one cache may serve concurrent engines. The key
+// and safe for concurrent use (all mutable scratch lives in the
+// per-worker expm.Workspace arena, never in the decomposition), so one
+// cache may serve concurrent engines. The key
 // carries the genetic code's identity alongside (κ, ω, π) — the
 // exchangeability structure follows the code — so one cache is safe
 // for mixed-code batches and manifests.

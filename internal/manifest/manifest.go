@@ -15,6 +15,12 @@
 // '#' are ignored. Relative paths are resolved against the manifest
 // file's directory, so a manifest and its data files move together.
 // Gene names must be unique: they key the result rows downstream.
+//
+// A manifest is also the unit of multi-host scale-out: Shard slices it
+// into deterministic contiguous row ranges (shard i of n), so n
+// processes — or n machines — can each run `slimcodeml -shard i/n`
+// over the same manifest and the per-shard JSONL outputs concatenate
+// into exactly the full run's rows.
 package manifest
 
 import (
@@ -23,6 +29,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 )
 
@@ -165,6 +172,46 @@ func ScanDir(dir string) ([]Entry, error) {
 		return nil, fmt.Errorf("manifest: %s: no alignment files found", dir)
 	}
 	return entries, nil
+}
+
+// Shard returns shard index of count as a deterministic contiguous
+// row range of the entries: shard i (1-based) of n covers rows
+// [(i-1)·len/n, i·len/n), so the n shards partition the manifest
+// exactly — every row in precisely one shard, sizes differing by at
+// most one — and the same (manifest, i/n) always yields the same rows.
+// This is the multi-host scale-out unit: run one process per shard
+// (slimcodeml -shard i/n) and concatenate the JSONL outputs. A shard
+// may be empty when count exceeds the row count; callers decide
+// whether that is an error.
+func Shard(entries []Entry, index, count int) ([]Entry, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("manifest: shard count %d < 1", count)
+	}
+	if index < 1 || index > count {
+		return nil, fmt.Errorf("manifest: shard index %d outside 1..%d", index, count)
+	}
+	lo := (index - 1) * len(entries) / count
+	hi := index * len(entries) / count
+	return entries[lo:hi], nil
+}
+
+// ParseShard parses an "i/n" shard specification (1-based shard i of
+// n), as accepted by slimcodeml -shard.
+func ParseShard(spec string) (index, count int, err error) {
+	i, n, ok := strings.Cut(spec, "/")
+	if ok {
+		index, err = strconv.Atoi(strings.TrimSpace(i))
+		if err == nil {
+			count, err = strconv.Atoi(strings.TrimSpace(n))
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("manifest: shard spec %q is not of the form i/n", spec)
+	}
+	if count < 1 || index < 1 || index > count {
+		return 0, 0, fmt.Errorf("manifest: shard spec %q needs 1 <= i <= n", spec)
+	}
+	return index, count, nil
 }
 
 func hasExt(exts []string, ext string) bool {

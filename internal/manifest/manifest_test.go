@@ -1,6 +1,7 @@
 package manifest
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -168,5 +169,97 @@ func TestScanDirMissingTree(t *testing.T) {
 func TestScanDirEmpty(t *testing.T) {
 	if _, err := ScanDir(t.TempDir()); err == nil {
 		t.Fatal("directory without alignments accepted")
+	}
+}
+
+// The n shards must partition the manifest exactly — every row in
+// precisely one shard, in order, with sizes differing by at most one —
+// for any (rows, n) shape including more shards than rows.
+func TestShardPartitions(t *testing.T) {
+	for _, rows := range []int{1, 2, 5, 7, 12} {
+		entries := make([]Entry, rows)
+		for i := range entries {
+			entries[i] = Entry{Name: fmt.Sprintf("g%02d", i), AlignPath: "a", TreePath: "t"}
+		}
+		for _, n := range []int{1, 2, 3, rows, rows + 3} {
+			var got []Entry
+			minSz, maxSz := rows, 0
+			for i := 1; i <= n; i++ {
+				s, err := Shard(entries, i, n)
+				if err != nil {
+					t.Fatalf("rows=%d shard %d/%d: %v", rows, i, n, err)
+				}
+				if len(s) < minSz {
+					minSz = len(s)
+				}
+				if len(s) > maxSz {
+					maxSz = len(s)
+				}
+				got = append(got, s...)
+			}
+			if len(got) != rows {
+				t.Fatalf("rows=%d n=%d: shards cover %d rows", rows, n, len(got))
+			}
+			for i := range got {
+				if got[i].Name != entries[i].Name {
+					t.Fatalf("rows=%d n=%d: row %d is %s, want %s", rows, n, i, got[i].Name, entries[i].Name)
+				}
+			}
+			if maxSz-minSz > 1 {
+				t.Fatalf("rows=%d n=%d: shard sizes range %d..%d", rows, n, minSz, maxSz)
+			}
+		}
+	}
+}
+
+// Sharding is deterministic: the same spec always selects the same
+// rows.
+func TestShardDeterministic(t *testing.T) {
+	entries := []Entry{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}, {Name: "e"}}
+	s1, err := Shard(entries, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Shard(entries, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatal("shard size changed between calls")
+	}
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name {
+			t.Fatal("shard contents changed between calls")
+		}
+	}
+}
+
+func TestShardErrors(t *testing.T) {
+	entries := []Entry{{Name: "a"}}
+	for _, bad := range [][2]int{{0, 3}, {4, 3}, {1, 0}, {-1, -1}} {
+		if _, err := Shard(entries, bad[0], bad[1]); err == nil {
+			t.Fatalf("shard %d/%d accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for spec, want := range map[string][2]int{
+		"1/4":   {1, 4},
+		"4/4":   {4, 4},
+		" 2/3 ": {2, 3},
+	} {
+		i, n, err := ParseShard(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if i != want[0] || n != want[1] {
+			t.Fatalf("%q parsed as %d/%d", spec, i, n)
+		}
+	}
+	for _, bad := range []string{"", "1", "0/4", "5/4", "1/0", "a/b", "1/4/2", "-1/4"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Fatalf("shard spec %q accepted", bad)
+		}
 	}
 }
