@@ -31,18 +31,31 @@
 // deterministic contiguous row ranges of the manifest — the multi-host
 // scale-out unit: launch one process per shard on the same manifest
 // and concatenate the JSONL outputs to recover the full run.
+//
+// -resume (streaming modes, JSONL output) makes the run durable: every
+// completed gene is checkpointed to a ledger beside -out, and rerunning
+// the identical command after a crash or Ctrl-C continues from the
+// last checkpointed gene, producing output byte-identical to an
+// uninterrupted run. -countcache maintains a sidecar per-gene codon
+// count cache so the -sharefreq pre-pass stops re-reading every
+// alignment once warm.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/align"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/manifest"
 	"repro/internal/newick"
@@ -55,6 +68,8 @@ func main() {
 		maniPath  = flag.String("manifest", "", "streaming mode: manifest file with one 'name alignment-path tree-path' row per gene")
 		dirPath   = flag.String("dir", "", "streaming mode: directory pairing NAME.{fasta,fa,fna,phy,phylip} with NAME.{nwk,tree,newick}")
 		shard     = flag.String("shard", "", "streaming mode: run only shard i of n (\"i/n\", 1-based) of the manifest rows — one process per shard scales a manifest across machines; JSONL outputs concatenate")
+		resume    = flag.Bool("resume", false, "streaming mode (JSONL -out): checkpoint every gene to <out>.ckpt and continue a killed run from its last checkpoint; rerun the identical command to resume")
+		countCach = flag.String("countcache", "", "streaming mode: sidecar codon-count cache file for the -sharefreq pre-pass (warm cache = metadata-only pass)")
 		outPath   = flag.String("out", "", "streaming mode: results file (.jsonl or .tsv; empty = TSV on stdout)")
 		outFmt    = flag.String("outfmt", "auto", "streaming output format: jsonl, tsv or auto (by -out extension)")
 		prefetch  = flag.Int("prefetch", 0, "streaming mode: max genes resident at once (0 = 2×jobs)")
@@ -96,7 +111,12 @@ func main() {
 		if *beb > 0 {
 			fmt.Fprintln(os.Stderr, "slimcodeml: -beb applies to single-gene mode only; ignoring it for this stream")
 		}
-		err = runStream(*maniPath, *dirPath, *format, opts, *jobs, *workers, *prefetch, *shareFreq, *shard, *outPath, *outFmt)
+		err = runStream(streamConfig{
+			maniPath: *maniPath, dirPath: *dirPath, format: *format,
+			opts: opts, jobs: *jobs, workers: *workers, prefetch: *prefetch,
+			shareFreq: *shareFreq, shard: *shard, outPath: *outPath,
+			outFmt: *outFmt, resume: *resume, countCache: *countCach,
+		})
 	default:
 		if *shard != "" {
 			fmt.Fprintln(os.Stderr, "slimcodeml: -shard applies to -manifest/-dir mode only; ignoring it")
@@ -120,25 +140,39 @@ func main() {
 	}
 }
 
+// streamConfig carries the streaming-mode flag set.
+type streamConfig struct {
+	maniPath, dirPath, format string
+	opts                      core.Options
+	jobs, workers, prefetch   int
+	shareFreq                 bool
+	shard, outPath, outFmt    string
+	resume                    bool
+	countCache                string
+}
+
 // runStream drives the manifest/directory front end: genes stream
 // through core.RunBatchStream's bounded prefetch window and results
 // stream to the output file in manifest order. A -shard spec slices
 // the parsed manifest to its deterministic row range before anything
 // streams, so n cooperating processes cover the manifest exactly once.
-func runStream(maniPath, dirPath, format string, opts core.Options, jobs, workers, prefetch int, shareFreq bool, shard, outPath, outFmt string) error {
+// Ctrl-C cancels the stream at a gene boundary; with -resume the run
+// is checkpointed gene by gene and rerunning the identical command
+// continues it.
+func runStream(cfg streamConfig) error {
 	var entries []manifest.Entry
 	var err error
-	if maniPath != "" {
-		entries, err = manifest.Load(maniPath)
+	if cfg.maniPath != "" {
+		entries, err = manifest.Load(cfg.maniPath)
 	} else {
-		entries, err = manifest.ScanDir(dirPath)
+		entries, err = manifest.ScanDir(cfg.dirPath)
 	}
 	if err != nil {
 		return err
 	}
 	shardNote := ""
-	if shard != "" {
-		idx, count, err := manifest.ParseShard(shard)
+	if cfg.shard != "" {
+		idx, count, err := manifest.ParseShard(cfg.shard)
 		if err != nil {
 			return err
 		}
@@ -151,66 +185,137 @@ func runStream(maniPath, dirPath, format string, opts core.Options, jobs, worker
 		// runs the stream so -out is created: a one-file-per-shard
 		// collector must find every part file, even empty ones.
 	}
-	afmt, err := align.ParseFormat(format)
+	afmt, err := align.ParseFormat(cfg.format)
 	if err != nil {
 		return err
+	}
+	var counts *manifest.CountCache
+	if cfg.countCache != "" {
+		counts = manifest.OpenCountCache(cfg.countCache)
+	}
+
+	// Ctrl-C / SIGTERM cancel the stream at a gene boundary instead of
+	// leaving prefetched goroutines running mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sopts := core.StreamOptions{
+		BatchOptions: core.BatchOptions{
+			Options:          cfg.opts,
+			Concurrency:      cfg.jobs,
+			PoolWorkers:      cfg.workers,
+			ShareFrequencies: cfg.shareFreq,
+		},
+		Prefetch: cfg.prefetch,
+	}
+	status := io.Writer(os.Stderr)
+	if cfg.outPath != "" {
+		status = os.Stdout
+	}
+	fmt.Fprintf(status, "SlimCodeML streaming batch: %d genes%s, %s engine\n", len(entries), shardNote, cfg.opts.Engine)
+
+	if cfg.resume {
+		return runCheckpointed(ctx, cfg, entries, afmt, counts, sopts, status)
 	}
 
 	// Status lines share stdout only when the results go to a file.
 	var out io.Writer = os.Stdout
-	status := io.Writer(os.Stderr)
 	finish := func() error { return nil }
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if cfg.outPath != "" {
+		f, err := os.Create(cfg.outPath)
 		if err != nil {
 			return err
 		}
 		bw := bufio.NewWriter(f)
 		out = bw
-		status = os.Stdout
 		// A flush or close failure (e.g. ENOSPC) must fail the run —
 		// a silently truncated results file would read as complete.
 		finish = func() error {
 			if err := bw.Flush(); err != nil {
 				f.Close()
-				return fmt.Errorf("writing %s: %w", outPath, err)
+				return fmt.Errorf("writing %s: %w", cfg.outPath, err)
 			}
 			if err := f.Close(); err != nil {
-				return fmt.Errorf("writing %s: %w", outPath, err)
+				return fmt.Errorf("writing %s: %w", cfg.outPath, err)
 			}
 			return nil
 		}
 	}
 	var sink core.ResultSink
-	switch resolveOutFmt(outFmt, outPath) {
+	switch resolveOutFmt(cfg.outFmt, cfg.outPath) {
 	case "jsonl":
 		sink = core.NewJSONLSink(out)
 	case "tsv":
 		sink = core.NewTSVSink(out)
 	default:
-		return fmt.Errorf("unknown output format %q (want jsonl or tsv)", outFmt)
+		return fmt.Errorf("unknown output format %q (want jsonl or tsv)", cfg.outFmt)
 	}
 
-	fmt.Fprintf(status, "SlimCodeML streaming batch: %d genes%s, %s engine\n", len(entries), shardNote, opts.Engine)
-	summary, err := core.RunBatchStream(core.NewManifestSource(entries, afmt), sink, core.StreamOptions{
-		BatchOptions: core.BatchOptions{
-			Options:          opts,
-			Concurrency:      jobs,
-			PoolWorkers:      workers,
-			ShareFrequencies: shareFreq,
-		},
-		Prefetch: prefetch,
-	})
+	src := core.NewManifestSource(entries, afmt)
+	if counts != nil {
+		src.WithCountCache(counts)
+	}
+	summary, err := core.RunBatchStream(ctx, src, sink, sopts)
 	if err != nil {
 		finish()
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted after %d genes (rerun with -resume to make runs continuable)", summaryGenes(summary))
+		}
 		return err
 	}
 	if err := finish(); err != nil {
 		return err
 	}
+	printStreamSummary(status, summary)
+	return nil
+}
+
+// runCheckpointed executes the -resume path: a checkpointed run via
+// the ledger beside -out, continuing any previous checkpointed run of
+// the identical command.
+func runCheckpointed(ctx context.Context, cfg streamConfig, entries []manifest.Entry, afmt align.Format, counts *manifest.CountCache, sopts core.StreamOptions, status io.Writer) error {
+	if cfg.outPath == "" {
+		return fmt.Errorf("-resume needs -out (checkpoints live beside the results file)")
+	}
+	if resolveOutFmt(cfg.outFmt, cfg.outPath) != "jsonl" {
+		return fmt.Errorf("-resume needs JSONL output (-outfmt jsonl); TSV is not an append-safe checkpoint format")
+	}
+	summary, err := checkpoint.Run(ctx, checkpoint.RunConfig{
+		Entries: entries,
+		Format:  afmt,
+		OutPath: cfg.outPath,
+		Opts:    sopts,
+		Counts:  counts,
+		OnStart: func(completed, failed int) {
+			if completed > 0 {
+				fmt.Fprintf(status, "resume: %d/%d genes already checkpointed (%d failed), continuing\n", completed, len(entries), failed)
+			}
+		},
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted after %d more genes — rerun the identical command to resume", summaryGenes(summary))
+		}
+		return err
+	}
+	printStreamSummary(status, summary)
+	return nil
+}
+
+// summaryGenes reads the delivered-gene count off a possibly nil
+// summary (a stream cancelled during the shared-frequency pre-pass
+// returns none).
+func summaryGenes(summary *core.StreamSummary) int {
+	if summary == nil {
+		return 0
+	}
+	return summary.Genes
+}
+
+// printStreamSummary reports one stream's totals.
+func printStreamSummary(status io.Writer, summary *core.StreamSummary) {
 	fmt.Fprintf(status, "stream: %d genes (%d failed), %.2f s, decomposition cache %d hits / %d misses\n",
 		summary.Genes, summary.Failed, summary.Runtime.Seconds(), summary.CacheHits, summary.CacheMisses)
-	return nil
 }
 
 // resolveOutFmt maps -outfmt (or the -out extension when auto) to a
@@ -226,30 +331,15 @@ func resolveOutFmt(outFmt, outPath string) string {
 	return "tsv"
 }
 
+// fillEngineAndFreq resolves the -engine and -freq spellings through
+// the shared core parsers (the same ones the job daemon's API uses).
 func fillEngineAndFreq(opts *core.Options, engine, freq string) error {
-	switch engine {
-	case "baseline":
-		opts.Engine = core.EngineBaseline
-	case "slim":
-		opts.Engine = core.EngineSlim
-	case "slim-sym":
-		opts.Engine = core.EngineSlimSym
-	case "slim-bundled":
-		opts.Engine = core.EngineSlimBundled
-	default:
-		return fmt.Errorf("unknown engine %q", engine)
+	var err error
+	if opts.Engine, err = core.ParseEngineKind(engine); err != nil {
+		return err
 	}
-	switch freq {
-	case "f61":
-		opts.Freq = core.FreqF61
-	case "f3x4":
-		opts.Freq = core.FreqF3x4
-	case "uniform":
-		opts.Freq = core.FreqUniform
-	default:
-		return fmt.Errorf("unknown frequency model %q", freq)
-	}
-	return nil
+	opts.Freq, err = core.ParseFreqEstimator(freq)
+	return err
 }
 
 func readTree(treePath string) (*newick.Tree, error) {

@@ -1,0 +1,106 @@
+// Command slimcodemld is the SlimCodeML analysis daemon — the fourth
+// execution tier. It serves branch-site analyses as resumable jobs
+// over an HTTP/JSON API: clients POST manifest jobs, poll per-gene
+// progress, and stream results back as JSON Lines, while every job
+// runs through the streaming batch driver on one shared likelihood
+// worker pool and eigendecomposition cache and checkpoints each gene
+// to a durable ledger in the data directory.
+//
+// Usage:
+//
+//	slimcodemld -addr :8710 -data ./slimcodemld-data [flags]
+//
+// API (see internal/serve):
+//
+//	POST   /jobs              submit {"manifest_path": "...", ...}
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         status with per-gene progress
+//	GET    /jobs/{id}/results stream results as JSON Lines
+//	DELETE /jobs/{id}         cancel
+//	GET    /healthz           liveness + queue occupancy
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: running jobs stop at
+// their next gene boundary with every delivered result already
+// checkpointed, and a daemon restarted on the same -data directory
+// revalidates and resumes them from the ledger — a killed run costs
+// the in-flight genes, never the completed ones.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8710", "HTTP listen address")
+		dataDir = flag.String("data", "slimcodemld-data", "directory for job specs, results and checkpoint ledgers")
+		workers = flag.Int("workers", 0, "shared likelihood pool workers (0 = GOMAXPROCS)")
+		active  = flag.Int("jobs", 1, "jobs running concurrently (each parallelizes across its genes)")
+		queue   = flag.Int("queue", 16, "max jobs waiting to run; submissions beyond it get 503")
+		cache   = flag.Int("cache", 1024, "shared eigendecomposition cache entries")
+		format  = flag.String("format", "auto", "alignment format for job files: fasta, phylip or auto")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight genes")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "slimcodemld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir string, workers, active, queue, cache int, format string, drain time.Duration) error {
+	afmt, err := align.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	server, err := serve.New(serve.Config{
+		DataDir:     dataDir,
+		PoolWorkers: workers,
+		MaxActive:   active,
+		QueueDepth:  queue,
+		CacheSize:   cache,
+		Format:      afmt,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: server.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("slimcodemld: serving on %s (data %s)", addr, dataDir)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		server.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("slimcodemld: shutting down (checkpointing in-flight jobs, %s budget)", drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+	if err := server.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	log.Printf("slimcodemld: stopped; resume jobs by restarting with -data %s", dataDir)
+	return nil
+}

@@ -20,6 +20,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -112,6 +113,7 @@ func main() {
 	var collect core.CollectSink
 	var archive bytes.Buffer
 	summary, err := core.RunBatchStream(
+		context.Background(),
 		core.NewManifestSource(loaded, align.FormatAuto),
 		core.NewMultiSink(&collect, core.NewJSONLSink(&archive)),
 		core.StreamOptions{

@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -175,6 +177,11 @@ func TestParallelSweep(t *testing.T) {
 	if !strings.Contains(buf.String(), "block-pool 2 workers") {
 		t.Fatalf("table missing block-pool row:\n%s", buf.String())
 	}
+	// The header must record the core count the table was measured on,
+	// so a 1-core recording carries its own caveat.
+	if want := fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0)); !strings.Contains(buf.String(), want) {
+		t.Fatalf("table header missing %s:\n%s", want, buf.String())
+	}
 }
 
 // The transition sweep harness must time the serial and pooled
@@ -220,5 +227,8 @@ func TestTransitionSweep(t *testing.T) {
 	PrintTransitionSweep(&buf, sweep)
 	if !strings.Contains(buf.String(), "block-pool 2 workers") {
 		t.Fatalf("table missing block-pool row:\n%s", buf.String())
+	}
+	if want := fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0)); !strings.Contains(buf.String(), want) {
+		t.Fatalf("table header missing %s:\n%s", want, buf.String())
 	}
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/align"
@@ -230,9 +231,11 @@ func RunTransitionSweep(f *EvalFixture, base lik.Config, workerCounts []int, eva
 }
 
 // PrintTransitionSweep writes the sweep as the table the repository
-// README records.
+// README records. The header carries the machine's GOMAXPROCS so a
+// recorded table documents how many cores it was measured on — a
+// 1-core recording can only show pooled overhead, not scaling.
 func PrintTransitionSweep(w io.Writer, s *TransitionSweep) {
-	fmt.Fprintf(w, "Transition phase — full rebuild of %d branches (%d builds) per strategy\n", s.Branches, s.Tasks)
+	fmt.Fprintf(w, "Transition phase — full rebuild of %d branches (%d builds) per strategy (GOMAXPROCS=%d)\n", s.Branches, s.Tasks, runtime.GOMAXPROCS(0))
 	fmt.Fprintf(w, "%-24s %14s %10s\n", "strategy", "refresh", "vs serial")
 	fmt.Fprintf(w, "%-24s %14s %10s\n", "serial", s.Serial, "1.00")
 	for _, p := range s.Points {
@@ -242,9 +245,10 @@ func PrintTransitionSweep(w io.Writer, s *TransitionSweep) {
 }
 
 // PrintParallelSweep writes the sweep as the speedup table the
-// repository README records.
+// repository README records, with the machine's GOMAXPROCS in the
+// header (see PrintTransitionSweep).
 func PrintParallelSweep(w io.Writer, s *ParallelSweep) {
-	fmt.Fprintln(w, "Parallel engine — full-evaluation wall time per strategy")
+	fmt.Fprintf(w, "Parallel engine — full-evaluation wall time per strategy (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
 	fmt.Fprintf(w, "%-24s %14s %10s\n", "strategy", "eval", "vs class")
 	fmt.Fprintf(w, "%-24s %14s %10s\n", "serial", s.Serial, fmt.Sprintf("%.2f", ratio(s.Class.Seconds(), s.Serial.Seconds())))
 	fmt.Fprintf(w, "%-24s %14s %10s\n", "class (4-way)", s.Class, "1.00")

@@ -1,0 +1,230 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/bsm"
+	"repro/internal/codon"
+	"repro/internal/core"
+	"repro/internal/manifest"
+	"repro/internal/sim"
+)
+
+// simManifest simulates n small genes and writes them as a manifest
+// directory, returning the loaded entries.
+func simManifest(t *testing.T, n int) []manifest.Entry {
+	t.Helper()
+	dir := t.TempDir()
+	entries := make([]manifest.Entry, n)
+	for i := range entries {
+		tree, err := sim.RandomTree(sim.TreeConfig{Species: 4, MeanBranchLength: 0.2, Seed: int64(700 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aln, err := sim.Simulate(tree, codon.Universal, sim.SeqConfig{
+			Sites:  24,
+			Params: bsm.Params{Kappa: 2, Omega0: 0.2, Omega2: 3, P0: 0.5, P1: 0.3},
+			Seed:   int64(800 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("g%02d", i)
+		alnPath := filepath.Join(dir, name+".fasta")
+		f, err := os.Create(alnPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := align.WriteFasta(f, aln); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		treePath := filepath.Join(dir, name+".nwk")
+		if err := os.WriteFile(treePath, []byte(tree.String()+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		entries[i] = manifest.Entry{Name: name, AlignPath: alnPath, TreePath: treePath}
+	}
+	maniPath := filepath.Join(dir, "genes.manifest")
+	if err := manifest.WriteFile(maniPath, entries); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := manifest.Load(maniPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+func parityOpts(shareFreq bool) core.StreamOptions {
+	return core.StreamOptions{BatchOptions: core.BatchOptions{
+		Options:          core.Options{Engine: core.EngineSlim, MaxIterations: 1, Seed: 1},
+		Concurrency:      4,
+		PoolWorkers:      2,
+		ShareFrequencies: shareFreq,
+	}, Prefetch: 5}
+}
+
+// killResumeParity runs the acceptance scenario: an uninterrupted
+// 20-gene checkpointed run as reference, then a run killed after
+// killAfter results (with torn tails appended to both output and
+// ledger, the crash signature), resumed to completion. The resumed
+// output must be byte-identical to the uninterrupted run's.
+func killResumeParity(t *testing.T, shareFreq bool) {
+	t.Helper()
+	entries := simManifest(t, 20)
+	opts := parityOpts(shareFreq)
+
+	refOut := filepath.Join(t.TempDir(), "ref.jsonl")
+	refSum, err := Run(context.Background(), RunConfig{Entries: entries, OutPath: refOut, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSum.Genes != len(entries) || refSum.Failed != 0 {
+		t.Fatalf("reference run: %d genes, %d failed", refSum.Genes, refSum.Failed)
+	}
+	want, err := os.ReadFile(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after killAfter results reach the sink.
+	const killAfter = 7
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	sum, err := Run(ctx, RunConfig{
+		Entries: entries, OutPath: out, Opts: opts,
+		OnResult: func(core.GeneResult) {
+			seen++
+			if seen == killAfter {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v", err)
+	}
+	if sum.Genes < killAfter || sum.Genes >= len(entries) {
+		t.Fatalf("kill landed outside the run: %d results delivered", sum.Genes)
+	}
+
+	// Crash signature: torn partial writes past the last checkpoint.
+	for _, p := range []string{out, LedgerPath(out)} {
+		f, err := os.OpenFile(p, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(`{"torn":"mid-wri`); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	// Resume: the identical invocation continues and completes.
+	resumed := 0
+	sum2, err := Run(context.Background(), RunConfig{
+		Entries: entries, OutPath: out, Opts: opts,
+		OnStart: func(completed, failed int) {
+			resumed = completed
+			if failed != 0 {
+				t.Errorf("resume reports %d failed genes", failed)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != sum.Genes {
+		t.Fatalf("resume skipped %d genes, interrupted run checkpointed %d", resumed, sum.Genes)
+	}
+	if sum2.Genes != len(entries)-resumed {
+		t.Fatalf("resume fitted %d genes, want %d", sum2.Genes, len(entries)-resumed)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed output is not byte-identical to the uninterrupted run\nresumed  (%d bytes): %q...\nreference (%d bytes): %q...",
+			len(got), truncate(got), len(want), truncate(want))
+	}
+
+	// A third, already-complete invocation is a durable no-op.
+	sum3, err := Run(context.Background(), RunConfig{Entries: entries, OutPath: out, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum3.Genes != 0 {
+		t.Fatalf("completed run refitted %d genes", sum3.Genes)
+	}
+	got2, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Fatal("no-op rerun changed the output")
+	}
+}
+
+func truncate(b []byte) []byte {
+	if len(b) > 120 {
+		return b[:120]
+	}
+	return b
+}
+
+// The acceptance scenario: kill a 20-gene manifest run after N
+// results, resume, and get byte-identical output.
+func TestKillResumeParity(t *testing.T) {
+	killResumeParity(t, false)
+}
+
+// Same, with ShareFrequencies: the resumed run must replay the π the
+// interrupted run recorded in its ledger (re-pooling over the
+// remaining genes would diverge).
+func TestKillResumeParitySharedFrequencies(t *testing.T) {
+	killResumeParity(t, true)
+}
+
+// The π recorded by a ShareFrequencies run must round-trip through the
+// ledger bit-exactly.
+func TestLedgerRecordsSharedFrequencies(t *testing.T) {
+	entries := simManifest(t, 3)
+	opts := parityOpts(true)
+	out := filepath.Join(t.TempDir(), "out.jsonl")
+	if _, err := Run(context.Background(), RunConfig{Entries: entries, OutPath: out, Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(LedgerPath(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	pi := l.Frequencies()
+	if len(pi) == 0 {
+		t.Fatal("shared-frequency run recorded no π")
+	}
+	want, err := core.SharedFrequencies(context.Background(), core.NewManifestSource(entries, align.FormatAuto), opts.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi) != len(want) {
+		t.Fatalf("π length %d, want %d", len(pi), len(want))
+	}
+	for i := range pi {
+		if pi[i] != want[i] {
+			t.Fatalf("π[%d] = %0.17g, want bit-identical %0.17g", i, pi[i], want[i])
+		}
+	}
+}

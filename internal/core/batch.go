@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -123,7 +124,7 @@ func RunBatch(genes []Gene, opts BatchOptions) (*BatchResult, error) {
 	sopts.Concurrency = conc
 	sopts.CacheSize = 4 * len(genes)
 	var col CollectSink
-	sum, err := RunBatchStream(NewSliceSource(genes), &col, sopts)
+	sum, err := RunBatchStream(context.Background(), NewSliceSource(genes), &col, sopts)
 	if err != nil {
 		return nil, err
 	}

@@ -40,7 +40,13 @@
 //     window by RunBatchStream (RunBatch is its in-memory wrapper),
 //     fitted concurrently on one shared pool and one shared
 //     eigendecomposition cache, results streamed to a ResultSink in
+//     source order. The stream is context-cancellable at gene
+//     boundaries; delivered results always form a prefix of the
 //     source order.
+//
+// A fourth tier — resumable, checkpointed runs and the HTTP job
+// service — is layered on top of the streaming contract by
+// internal/checkpoint and internal/serve.
 //
 // Two invariants hold across all tiers and are enforced by tests:
 //
@@ -104,6 +110,36 @@ func (k EngineKind) String() string {
 		return "SlimCodeML+bundled"
 	}
 	return fmt.Sprintf("engine(%d)", int(k))
+}
+
+// ParseEngineKind maps the CLI/API spelling ("baseline", "slim",
+// "slim-sym", "slim-bundled"; empty selects slim) to an EngineKind.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "baseline":
+		return EngineBaseline, nil
+	case "", "slim":
+		return EngineSlim, nil
+	case "slim-sym":
+		return EngineSlimSym, nil
+	case "slim-bundled":
+		return EngineSlimBundled, nil
+	}
+	return 0, fmt.Errorf("core: unknown engine %q", s)
+}
+
+// ParseFreqEstimator maps the CLI/API spelling ("f61", "f3x4",
+// "uniform"; empty selects f61) to a FreqEstimator.
+func ParseFreqEstimator(s string) (FreqEstimator, error) {
+	switch s {
+	case "", "f61":
+		return FreqF61, nil
+	case "f3x4":
+		return FreqF3x4, nil
+	case "uniform":
+		return FreqUniform, nil
+	}
+	return 0, fmt.Errorf("core: unknown frequency model %q", s)
 }
 
 // LikConfig maps the engine kind to the likelihood engine strategy

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/codon"
+	"repro/internal/manifest"
+)
+
+// The sidecar count cache must make the shared-frequency pre-pass
+// metadata-only once warm: with size and mtime unchanged, the cached
+// counts are served without reading the alignment — proven here by
+// replacing every alignment's *content* (size and mtime preserved) and
+// still pooling the original counts.
+func TestManifestSourcePooledCountsCacheIsMetadataOnly(t *testing.T) {
+	genes := streamGenes(t, 3)
+	entries := writeManifestDir(t, genes)
+	cachePath := filepath.Join(filepath.Dir(entries[0].AlignPath), "genes.counts")
+	ctx := context.Background()
+
+	// Cold pass fills the cache; it must pool exactly what an
+	// uncached source pools.
+	plain := NewManifestSource(entries, align.FormatAuto)
+	wantCodon, wantNuc, err := plain.PooledCounts(ctx, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewManifestSource(entries, align.FormatAuto).WithCountCache(manifest.OpenCountCache(cachePath))
+	gotCodon, gotNuc, err := cold.PooledCounts(ctx, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotNuc != wantNuc {
+		t.Fatalf("cold cached nuc counts diverge: %v != %v", gotNuc, wantNuc)
+	}
+	for i := range wantCodon {
+		if gotCodon[i] != wantCodon[i] {
+			t.Fatalf("cold cached codon count %d diverges: %v != %v", i, gotCodon[i], wantCodon[i])
+		}
+	}
+	if manifest.OpenCountCache(cachePath).Len() != len(entries) {
+		t.Fatal("cache not persisted for every gene")
+	}
+
+	// Replace every alignment's bytes with same-length garbage,
+	// restoring mtimes, so any attempt to re-read would change the
+	// counts (the garbage does not parse, contributing nothing).
+	for _, e := range entries {
+		info, err := os.Stat(e.AlignPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		garbage := strings.Repeat("X", int(info.Size()))
+		if err := os.WriteFile(e.AlignPath, []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(e.AlignPath, info.ModTime(), info.ModTime()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := NewManifestSource(entries, align.FormatAuto).WithCountCache(manifest.OpenCountCache(cachePath))
+	warmCodon, warmNuc, err := warm.PooledCounts(ctx, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmNuc != wantNuc {
+		t.Fatal("warm pass read the (garbage) files instead of the cache")
+	}
+	for i := range wantCodon {
+		if warmCodon[i] != wantCodon[i] {
+			t.Fatal("warm pass read the (garbage) files instead of the cache")
+		}
+	}
+	// Sanity: an uncached source on the garbage pools nothing.
+	bare, _, err := NewManifestSource(entries, align.FormatAuto).PooledCounts(ctx, codon.Universal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bare {
+		if bare[i] != 0 {
+			t.Fatalf("garbage alignment still contributed counts: %v", bare[i])
+		}
+	}
+}
+
+// The shared-frequency stream must produce bit-identical π with and
+// without the sidecar cache.
+func TestRunBatchStreamSharedFrequenciesWithCountCache(t *testing.T) {
+	genes := streamGenes(t, 3)
+	entries := writeManifestDir(t, genes)
+	opts := StreamOptions{BatchOptions: BatchOptions{
+		Options:          Options{Engine: EngineSlim, MaxIterations: 1, Seed: 1},
+		ShareFrequencies: true,
+	}}
+
+	var plain CollectSink
+	if _, err := RunBatchStream(context.Background(), NewManifestSource(entries, align.FormatAuto), &plain, opts); err != nil {
+		t.Fatal(err)
+	}
+	cachePath := filepath.Join(filepath.Dir(entries[0].AlignPath), "sf.counts")
+	for pass, label := range []string{"cold", "warm"} {
+		src := NewManifestSource(entries, align.FormatAuto).WithCountCache(manifest.OpenCountCache(cachePath))
+		var col CollectSink
+		if _, err := RunBatchStream(context.Background(), src, &col, opts); err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain.Results() {
+			w, g := plain.Results()[i], col.Results()[i]
+			if w.Result.H1.LnL != g.Result.H1.LnL {
+				t.Fatalf("%s cached pass %d: gene %s lnL %0.17g != %0.17g", label, pass, g.Name, g.Result.H1.LnL, w.Result.H1.LnL)
+			}
+		}
+	}
+}
+
+func TestManifestSourceSkip(t *testing.T) {
+	genes := streamGenes(t, 4)
+	entries := writeManifestDir(t, genes)
+	src := NewManifestSource(entries, align.FormatAuto)
+	if err := src.Skip(2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := src.Next()
+	if err != nil || g == nil {
+		t.Fatalf("Next after Skip: %v, %v", g, err)
+	}
+	if g.Name != entries[2].Name {
+		t.Fatalf("Skip(2) then Next yields %s, want %s", g.Name, entries[2].Name)
+	}
+	if err := src.Skip(2); err == nil {
+		t.Fatal("skip past the end accepted")
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	g, err = src.Next()
+	if err != nil || g == nil || g.Name != entries[0].Name {
+		t.Fatalf("Reset did not rewind: %v, %v", g, err)
+	}
+}

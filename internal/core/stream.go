@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,6 +27,21 @@ type GeneSource interface {
 type ReplayableSource interface {
 	GeneSource
 	Reset() error
+}
+
+// PooledCounter is the fast path for the shared-frequency pre-pass: a
+// source that can pool every gene's codon and per-position nucleotide
+// counts itself (e.g. from a sidecar count cache) instead of having the
+// driver load and encode each gene. PooledCounts must cover every gene
+// the source describes — independent of its current position, which it
+// must leave untouched — and must pool in source order with the exact
+// float64 values the per-gene encode would produce, so the fast path
+// is bit-identical to the streamed pass.
+type PooledCounter interface {
+	// PooledCounts returns summed sense-codon counts (F61 input) and
+	// per-position nucleotide counts (F3x4 input) over all genes under
+	// the genetic code.
+	PooledCounts(ctx context.Context, gc *codon.GeneticCode) (codonCounts []float64, nucCounts [3][4]float64, err error)
 }
 
 // ResultSink consumes per-gene results. RunBatchStream delivers
@@ -75,6 +91,15 @@ type StreamOptions struct {
 	// CacheSize caps the shared eigendecomposition cache (entries);
 	// 0 selects a default sized for an unbounded stream.
 	CacheSize int
+	// Pool, when non-nil, is an externally owned worker pool the
+	// stream's engines share — the job service runs every job on one.
+	// PoolWorkers is then ignored and the pool is not closed when the
+	// stream ends.
+	Pool *lik.Pool
+	// Decomps, when non-nil, is an externally owned eigendecomposition
+	// cache shared across streams; CacheSize is then ignored. The
+	// summary's hit/miss counts report only this stream's deltas.
+	Decomps *lik.DecompCache
 }
 
 // StreamSummary aggregates a streaming run; the per-gene results have
@@ -104,9 +129,19 @@ type StreamSummary struct {
 // Per-gene results are bit-identical to RunBatch and to a sequential
 // Analysis.Run with the same Options: the streaming machinery reorders
 // independent work, never the arithmetic.
-func RunBatchStream(src GeneSource, sink ResultSink, opts StreamOptions) (*StreamSummary, error) {
+//
+// Cancelling ctx aborts the stream: no new gene starts fitting, results
+// not yet delivered are discarded, and the run returns an error
+// wrapping ctx.Err() once in-flight fits drain. Results already
+// delivered to the sink always form a prefix of the source order — the
+// invariant the checkpoint ledger builds on — because delivery is
+// in-order and simply stops early.
+func RunBatchStream(ctx context.Context, src GeneSource, sink ResultSink, opts StreamOptions) (*StreamSummary, error) {
 	if src == nil || sink == nil {
 		return nil, fmt.Errorf("core: RunBatchStream needs a source and a sink")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	opts.fill()
 	conc := opts.Concurrency
@@ -119,24 +154,33 @@ func RunBatchStream(src GeneSource, sink ResultSink, opts StreamOptions) (*Strea
 	}
 
 	geneOpts := opts.Options
-	if opts.PoolWorkers >= 0 {
+	if opts.Pool != nil {
+		geneOpts.pool = opts.Pool
+	} else if opts.PoolWorkers >= 0 {
 		pool := lik.NewPool(opts.PoolWorkers)
 		defer pool.Close()
 		geneOpts.pool = pool
 	}
-	cacheSize := opts.CacheSize
-	if cacheSize <= 0 {
-		cacheSize = 256
+	cache := opts.Decomps
+	if cache == nil {
+		cacheSize := opts.CacheSize
+		if cacheSize <= 0 {
+			cacheSize = 256
+		}
+		cache = lik.NewDecompCache(cacheSize)
 	}
-	cache := lik.NewDecompCache(cacheSize)
 	geneOpts.decomps = cache
+	hits0, misses0 := cache.Stats()
 
-	if opts.ShareFrequencies {
+	// ShareFrequencies with Frequencies already fixed (a resumed run
+	// replaying the π its ledger recorded) skips the pre-pass: the
+	// stored vector is bit-identical to what the pass would recompute.
+	if opts.ShareFrequencies && geneOpts.Frequencies == nil {
 		rs, ok := src.(ReplayableSource)
 		if !ok {
 			return nil, fmt.Errorf("core: ShareFrequencies needs a ReplayableSource (the pooled-count pass reads every gene before the first fit)")
 		}
-		pi, err := streamedFrequencies(rs, &geneOpts)
+		pi, err := streamedFrequencies(ctx, rs, &geneOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -168,6 +212,8 @@ func RunBatchStream(src GeneSource, sink ResultSink, opts StreamOptions) (*Strea
 			case sem <- struct{}{}:
 			case <-abort:
 				return
+			case <-ctx.Done():
+				return
 			}
 			g, err := src.Next()
 			if err != nil || g == nil {
@@ -177,6 +223,8 @@ func RunBatchStream(src GeneSource, sink ResultSink, opts StreamOptions) (*Strea
 			select {
 			case work <- item{seq: seq, gene: g}:
 			case <-abort:
+				return
+			case <-ctx.Done():
 				return
 			}
 		}
@@ -188,6 +236,11 @@ func RunBatchStream(src GeneSource, sink ResultSink, opts StreamOptions) (*Strea
 		go func() {
 			defer wg.Done()
 			for it := range work {
+				// After cancellation, drain queued genes without
+				// fitting them; the collector discards their absence.
+				if ctx.Err() != nil {
+					continue
+				}
 				results <- delivered{seq: it.seq, res: runGene(it.gene, geneOpts)}
 			}
 		}()
@@ -203,10 +256,15 @@ func RunBatchStream(src GeneSource, sink ResultSink, opts StreamOptions) (*Strea
 	// drained (their results discarded) so the goroutines exit.
 	sum := &StreamSummary{}
 	var sinkErr error
+	stopped := false // sink error or cancellation: drain without writing
 	pending := make(map[int]GeneResult)
 	nextSeq := 0
 	for d := range results {
-		if sinkErr != nil {
+		if stopped {
+			continue
+		}
+		if ctx.Err() != nil {
+			stopped = true
 			continue
 		}
 		pending[d.seq] = d.res
@@ -219,6 +277,7 @@ func RunBatchStream(src GeneSource, sink ResultSink, opts StreamOptions) (*Strea
 			if err := sink.Write(r); err != nil {
 				sinkErr = fmt.Errorf("core: result sink: %w", err)
 				close(abort)
+				stopped = true
 				break
 			}
 			nextSeq++
@@ -229,10 +288,14 @@ func RunBatchStream(src GeneSource, sink ResultSink, opts StreamOptions) (*Strea
 			<-sem
 		}
 	}
-	sum.CacheHits, sum.CacheMisses = cache.Stats()
+	hits1, misses1 := cache.Stats()
+	sum.CacheHits, sum.CacheMisses = hits1-hits0, misses1-misses0
 	sum.Runtime = time.Since(start)
 	if sinkErr != nil {
 		return sum, sinkErr
+	}
+	if err := ctx.Err(); err != nil {
+		return sum, fmt.Errorf("core: stream cancelled: %w", err)
 	}
 	if srcErr != nil {
 		return sum, fmt.Errorf("core: gene source: %w", srcErr)
@@ -259,21 +322,47 @@ func runGene(g *Gene, opts Options) GeneResult {
 	return res
 }
 
+// SharedFrequencies runs the shared-frequency pre-pass on its own and
+// returns the pooled π vector — what RunBatchStream computes internally
+// when ShareFrequencies is set. Callers that persist π (the checkpoint
+// ledger records it so a resumed run reuses the identical vector) run
+// this first and pass the result via Options.Frequencies.
+func SharedFrequencies(ctx context.Context, src ReplayableSource, opts Options) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.fill()
+	return streamedFrequencies(ctx, src, &opts)
+}
+
 // streamedFrequencies is pass one of the shared-frequency path: it
 // streams every gene once, pooling codon counts with the batch's Freq
 // estimator, then rewinds the source. Each gene's encode+compress
 // product is cached on the Gene, so sources that replay the same Gene
 // values (SliceSource — hence RunBatch) encode exactly once across
-// both passes; sources that reload genes from disk (ManifestSource)
-// pay one extra encode per gene, never O(collection) memory.
-func streamedFrequencies(src ReplayableSource, opts *Options) ([]float64, error) {
+// both passes; sources that reload genes from disk pay one extra
+// encode per gene, never O(collection) memory — unless they implement
+// PooledCounter (ManifestSource with its sidecar count cache), in
+// which case the pass is delegated to the source and a warm cache
+// makes it metadata-only.
+func streamedFrequencies(ctx context.Context, src ReplayableSource, opts *Options) ([]float64, error) {
 	gc := opts.Code
 	if opts.Freq == FreqUniform {
 		return codon.UniformFrequencies(gc), nil
 	}
+	if pc, ok := src.(PooledCounter); ok {
+		cc, nc, err := pc.PooledCounts(ctx, gc)
+		if err != nil {
+			return nil, fmt.Errorf("core: pooled counts: %w", err)
+		}
+		return finishFrequencies(opts, cc, nc)
+	}
 	codonCounts := make([]float64, gc.NumStates())
 	var nucCounts [3][4]float64
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g, err := src.Next()
 		if err != nil {
 			return nil, fmt.Errorf("core: gene source: %w", err)
@@ -309,8 +398,17 @@ func streamedFrequencies(src ReplayableSource, opts *Options) ([]float64, error)
 	if err := src.Reset(); err != nil {
 		return nil, fmt.Errorf("core: gene source reset: %w", err)
 	}
-	if opts.Freq == FreqF3x4 {
-		return codon.F3x4(gc, nucCounts)
+	return finishFrequencies(opts, codonCounts, nucCounts)
+}
+
+// finishFrequencies applies the selected estimator to the pooled
+// counts.
+func finishFrequencies(opts *Options, codonCounts []float64, nucCounts [3][4]float64) ([]float64, error) {
+	switch opts.Freq {
+	case FreqF61:
+		return codon.F61(opts.Code, codonCounts)
+	case FreqF3x4:
+		return codon.F3x4(opts.Code, nucCounts)
 	}
-	return codon.F61(gc, codonCounts)
+	return nil, fmt.Errorf("core: unknown frequency estimator %d", opts.Freq)
 }

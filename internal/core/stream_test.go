@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -90,7 +92,7 @@ func TestRunBatchStreamManifestMatchesRunBatch(t *testing.T) {
 
 	entries := writeManifestDir(t, genes)
 	var col CollectSink
-	sum, err := RunBatchStream(NewManifestSource(entries, align.FormatAuto), &col,
+	sum, err := RunBatchStream(context.Background(), NewManifestSource(entries, align.FormatAuto), &col,
 		StreamOptions{BatchOptions: opts, Prefetch: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -187,7 +189,7 @@ func TestRunBatchStreamBoundedPrefetchAndOrdering(t *testing.T) {
 	}
 	src := &countingSource{genes: genes}
 	sink := &countingSink{src: src}
-	sum, err := RunBatchStream(src, sink, StreamOptions{
+	sum, err := RunBatchStream(context.Background(), src, sink, StreamOptions{
 		BatchOptions: BatchOptions{
 			Options:     Options{Engine: EngineSlim, MaxIterations: 1, Seed: 1},
 			Concurrency: 8,
@@ -243,7 +245,7 @@ func TestRunBatchStreamBadGeneFileContinues(t *testing.T) {
 		t.Fatal(err)
 	}
 	var col CollectSink
-	sum, err := RunBatchStream(NewManifestSource(entries, align.FormatAuto), &col, StreamOptions{
+	sum, err := RunBatchStream(context.Background(), NewManifestSource(entries, align.FormatAuto), &col, StreamOptions{
 		BatchOptions: BatchOptions{
 			Options:          Options{Engine: EngineSlim, MaxIterations: 1, Seed: 1},
 			ShareFrequencies: true,
@@ -274,7 +276,7 @@ func (n *nonReplayableSource) Next() (*Gene, error) { return n.s.Next() }
 func TestRunBatchStreamShareFrequenciesNeedsReplayable(t *testing.T) {
 	genes := streamGenes(t, 1)
 	var col CollectSink
-	_, err := RunBatchStream(&nonReplayableSource{s: NewSliceSource(genes)}, &col, StreamOptions{
+	_, err := RunBatchStream(context.Background(), &nonReplayableSource{s: NewSliceSource(genes)}, &col, StreamOptions{
 		BatchOptions: BatchOptions{
 			Options:          Options{Engine: EngineSlim, MaxIterations: 1, Seed: 1},
 			ShareFrequencies: true,
@@ -298,7 +300,7 @@ func (s *failingSink) Write(GeneResult) error {
 func TestRunBatchStreamSinkError(t *testing.T) {
 	genes := streamGenes(t, 4)
 	sink := &failingSink{}
-	_, err := RunBatchStream(NewSliceSource(genes), sink, StreamOptions{
+	_, err := RunBatchStream(context.Background(), NewSliceSource(genes), sink, StreamOptions{
 		BatchOptions: BatchOptions{
 			Options:     Options{Engine: EngineSlim, MaxIterations: 1, Seed: 1},
 			Concurrency: 2,
@@ -315,7 +317,7 @@ func TestRunBatchStreamSinkError(t *testing.T) {
 // An empty source is a valid (zero-gene) stream.
 func TestRunBatchStreamEmptySource(t *testing.T) {
 	var col CollectSink
-	sum, err := RunBatchStream(NewSliceSource(nil), &col, StreamOptions{})
+	sum, err := RunBatchStream(context.Background(), NewSliceSource(nil), &col, StreamOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +332,7 @@ func TestRunBatchStreamSourceError(t *testing.T) {
 	genes := streamGenes(t, 2)
 	src := &erroringSource{s: NewSliceSource(genes), failAt: 1}
 	var col CollectSink
-	_, err := RunBatchStream(src, &col, StreamOptions{
+	_, err := RunBatchStream(context.Background(), src, &col, StreamOptions{
 		BatchOptions: BatchOptions{Options: Options{Engine: EngineSlim, MaxIterations: 1, Seed: 1}},
 	})
 	if err == nil {
@@ -350,4 +352,75 @@ func (e *erroringSource) Next() (*Gene, error) {
 	}
 	e.served++
 	return e.s.Next()
+}
+
+// cancellingSink cancels its context after k writes.
+type cancellingSink struct {
+	cancel  context.CancelFunc
+	after   int
+	results []GeneResult
+}
+
+func (s *cancellingSink) Write(r GeneResult) error {
+	s.results = append(s.results, r)
+	if len(s.results) == s.after {
+		s.cancel()
+	}
+	return nil
+}
+
+// Cancelling the context must stop the stream promptly (no new gene
+// starts fitting), surface as an error wrapping context.Canceled, and
+// leave the delivered results an exact prefix of source order — the
+// invariant checkpoint resume builds on.
+func TestRunBatchStreamCancellation(t *testing.T) {
+	genes := streamGenes(t, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancellingSink{cancel: cancel, after: 3}
+	sum, err := RunBatchStream(ctx, NewSliceSource(genes), sink, StreamOptions{
+		BatchOptions: BatchOptions{
+			Options:     Options{Engine: EngineSlim, MaxIterations: 1, Seed: 1},
+			Concurrency: 2,
+			PoolWorkers: -1,
+		},
+		Prefetch: 3,
+	})
+	if err == nil {
+		t.Fatal("cancellation not surfaced")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if len(sink.results) < sink.after || len(sink.results) >= len(genes) {
+		t.Fatalf("sink saw %d results; want in [%d, %d)", len(sink.results), sink.after, len(genes))
+	}
+	if sum.Genes != len(sink.results) {
+		t.Fatalf("summary counts %d genes, sink saw %d", sum.Genes, len(sink.results))
+	}
+	for i, r := range sink.results {
+		if r.Name != genes[i].Name {
+			t.Fatalf("delivered results not a source-order prefix: position %d is %s, want %s", i, r.Name, genes[i].Name)
+		}
+	}
+}
+
+// A cancelled context must also abort the shared-frequency pre-pass.
+func TestRunBatchStreamCancelledBeforeStart(t *testing.T) {
+	genes := streamGenes(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var col CollectSink
+	_, err := RunBatchStream(ctx, NewSliceSource(genes), &col, StreamOptions{
+		BatchOptions: BatchOptions{
+			Options:          Options{Engine: EngineSlim, MaxIterations: 1, Seed: 1},
+			ShareFrequencies: true,
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled stream returned %v", err)
+	}
+	if len(col.Results()) != 0 {
+		t.Fatalf("pre-cancelled stream delivered %d results", len(col.Results()))
+	}
 }

@@ -1,0 +1,126 @@
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CountCache is the sidecar store for the shared-frequency pre-pass:
+// per-gene pooled codon and nucleotide counts keyed by gene name, each
+// entry validated against the alignment file's size and modification
+// time (and the genetic code it was counted under). With a warm cache
+// the pre-pass touches only file metadata — the alignments themselves
+// are read once, on the first run, instead of once per run.
+//
+// The cache is advisory: a missing, corrupt or stale file simply means
+// the counts are recomputed, and the counts stored are the exact
+// float64 values the live computation produced (JSON round-trips
+// float64 bit-exactly), so a warm pass pools bit-identical totals to a
+// cold one. One goroutine owns a CountCache at a time; concurrent
+// *processes* sharing a cache path are safe because Save writes through
+// a temp file and atomic rename (last writer wins, readers never see a
+// torn file).
+type CountCache struct {
+	path  string
+	genes map[string]CachedCounts
+	dirty bool
+}
+
+// CachedCounts is one gene's pooled-count contribution plus the
+// metadata that validates it.
+type CachedCounts struct {
+	// Size and MTimeNS identify the alignment file version the counts
+	// were computed from; a mismatch invalidates the entry.
+	Size    int64 `json:"size"`
+	MTimeNS int64 `json:"mtime_ns"`
+	// Code names the genetic code the alignment was encoded under —
+	// counts over 61 universal sense codons are meaningless for a
+	// 60-state mitochondrial run.
+	Code string `json:"code"`
+	// Codon holds weighted sense-codon counts (F61 input); Nuc holds
+	// weighted per-position nucleotide counts (F3x4 input).
+	Codon []float64     `json:"codon"`
+	Nuc   [3][4]float64 `json:"nuc"`
+}
+
+// countCacheFile is the on-disk JSON shape.
+type countCacheFile struct {
+	Version int                     `json:"version"`
+	Genes   map[string]CachedCounts `json:"genes"`
+}
+
+const countCacheVersion = 1
+
+// OpenCountCache loads the sidecar cache at path, returning an empty
+// cache when the file does not exist or cannot be parsed (it is a
+// cache: losing it costs one re-count pass, never correctness).
+func OpenCountCache(path string) *CountCache {
+	c := &CountCache{path: path, genes: make(map[string]CachedCounts)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var f countCacheFile
+	if json.Unmarshal(data, &f) != nil || f.Version != countCacheVersion || f.Genes == nil {
+		return c
+	}
+	c.genes = f.Genes
+	return c
+}
+
+// Path returns the cache's file path.
+func (c *CountCache) Path() string { return c.path }
+
+// Len returns the number of cached genes.
+func (c *CountCache) Len() int { return len(c.genes) }
+
+// Lookup returns the cached counts for the gene when the stored
+// metadata matches the alignment file's current size and mtime and the
+// genetic code's name.
+func (c *CountCache) Lookup(name string, size, mtimeNS int64, code string) (CachedCounts, bool) {
+	cc, ok := c.genes[name]
+	if !ok || cc.Size != size || cc.MTimeNS != mtimeNS || cc.Code != code {
+		return CachedCounts{}, false
+	}
+	return cc, true
+}
+
+// Store records the gene's counts, replacing any previous entry.
+func (c *CountCache) Store(name string, cc CachedCounts) {
+	c.genes[name] = cc
+	c.dirty = true
+}
+
+// Save writes the cache back to its path via a temp file and atomic
+// rename; it is a no-op when nothing changed since load.
+func (c *CountCache) Save() error {
+	if !c.dirty {
+		return nil
+	}
+	data, err := json.Marshal(countCacheFile{Version: countCacheVersion, Genes: c.genes})
+	if err != nil {
+		return fmt.Errorf("manifest: count cache: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("manifest: count cache: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("manifest: count cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("manifest: count cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("manifest: count cache: %w", err)
+	}
+	c.dirty = false
+	return nil
+}

@@ -1,0 +1,119 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEntryDigestSensitivity(t *testing.T) {
+	base := Entry{Name: "g1", AlignPath: "a.fasta", TreePath: "t.nwk"}
+	variants := []Entry{
+		{Name: "g2", AlignPath: "a.fasta", TreePath: "t.nwk"},
+		{Name: "g1", AlignPath: "b.fasta", TreePath: "t.nwk"},
+		{Name: "g1", AlignPath: "a.fasta", TreePath: "u.nwk"},
+	}
+	d := base.Digest()
+	if d != base.Digest() {
+		t.Fatal("digest not deterministic")
+	}
+	for _, v := range variants {
+		if v.Digest() == d {
+			t.Fatalf("variant %+v collides with %+v", v, base)
+		}
+	}
+}
+
+func TestManifestDigestOrderAndContent(t *testing.T) {
+	a := Entry{Name: "a", AlignPath: "a.fasta", TreePath: "a.nwk"}
+	b := Entry{Name: "b", AlignPath: "b.fasta", TreePath: "b.nwk"}
+	d1 := Digest([]Entry{a, b})
+	if d1 != Digest([]Entry{a, b}) {
+		t.Fatal("digest not deterministic")
+	}
+	if Digest([]Entry{b, a}) == d1 {
+		t.Fatal("reorder not detected")
+	}
+	if Digest([]Entry{a}) == d1 {
+		t.Fatal("row removal not detected")
+	}
+}
+
+func TestCountCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "genes.counts")
+	c := OpenCountCache(path)
+	if c.Len() != 0 {
+		t.Fatalf("fresh cache has %d entries", c.Len())
+	}
+	cc := CachedCounts{
+		Size: 100, MTimeNS: 42, Code: "universal",
+		Codon: []float64{1, 2.5, 0, 3},
+		Nuc:   [3][4]float64{{1, 0, 2, 0}, {0, 3, 0, 0}, {0.5, 0, 0, 1}},
+	}
+	c.Store("g1", cc)
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := OpenCountCache(path)
+	got, ok := c2.Lookup("g1", 100, 42, "universal")
+	if !ok {
+		t.Fatal("stored entry not found after reload")
+	}
+	if len(got.Codon) != len(cc.Codon) {
+		t.Fatalf("codon counts lost: %v", got.Codon)
+	}
+	for i := range cc.Codon {
+		if got.Codon[i] != cc.Codon[i] {
+			t.Fatalf("codon[%d] = %v, want %v (must round-trip bit-exactly)", i, got.Codon[i], cc.Codon[i])
+		}
+	}
+	if got.Nuc != cc.Nuc {
+		t.Fatalf("nuc counts changed: %v != %v", got.Nuc, cc.Nuc)
+	}
+}
+
+func TestCountCacheInvalidation(t *testing.T) {
+	c := OpenCountCache(filepath.Join(t.TempDir(), "x.counts"))
+	c.Store("g1", CachedCounts{Size: 100, MTimeNS: 42, Code: "universal", Codon: []float64{1}})
+	cases := []struct {
+		name  string
+		size  int64
+		mtime int64
+		code  string
+	}{
+		{"g1", 101, 42, "universal"}, // size changed
+		{"g1", 100, 43, "universal"}, // mtime changed
+		{"g1", 100, 42, "vertmt"},    // code changed
+		{"g2", 100, 42, "universal"}, // unknown gene
+	}
+	for _, tc := range cases {
+		if _, ok := c.Lookup(tc.name, tc.size, tc.mtime, tc.code); ok {
+			t.Fatalf("stale lookup %+v hit", tc)
+		}
+	}
+	if _, ok := c.Lookup("g1", 100, 42, "universal"); !ok {
+		t.Fatal("exact lookup missed")
+	}
+}
+
+// A corrupt cache file must degrade to an empty cache, never an error:
+// it is a cache.
+func TestCountCacheCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.counts")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := OpenCountCache(path)
+	if c.Len() != 0 {
+		t.Fatalf("corrupt cache yielded %d entries", c.Len())
+	}
+	// And Save must be able to replace it.
+	c.Store("g1", CachedCounts{Codon: []float64{1}})
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if OpenCountCache(path).Len() != 1 {
+		t.Fatal("repaired cache not readable")
+	}
+}

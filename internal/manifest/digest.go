@@ -1,0 +1,45 @@
+package manifest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+)
+
+// Digest returns a short stable fingerprint of one manifest row — the
+// identity the checkpoint ledger records per completed gene, so a
+// resumed run can prove each ledger record still describes the same
+// manifest row (same name, same alignment and tree paths) before
+// skipping it.
+func (e Entry) Digest() string {
+	h := sha256.New()
+	writeRow(h, e)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Digest fingerprints a whole entry list, order-sensitively: any row
+// edit, insertion, deletion or reorder changes it. A checkpoint ledger
+// stores it in its header so resuming against a changed manifest is
+// refused up front instead of concatenating results from two different
+// runs.
+func Digest(entries []Entry) string {
+	h := sha256.New()
+	for _, e := range entries {
+		writeRow(h, e)
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// writeRow feeds one entry's fields into the hash with unambiguous
+// framing (NUL between fields, LF between rows; neither occurs in a
+// parseable manifest field).
+func writeRow(w io.Writer, e Entry) {
+	io.WriteString(w, e.Name)
+	io.WriteString(w, "\x00")
+	io.WriteString(w, e.AlignPath)
+	io.WriteString(w, "\x00")
+	io.WriteString(w, e.TreePath)
+	io.WriteString(w, "\n")
+}

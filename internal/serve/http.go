@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs              submit a JobSpec, returns the job status (202)
+//	GET    /jobs              list all jobs
+//	GET    /jobs/{id}         one job's status with per-gene progress
+//	GET    /jobs/{id}/results stream the job's results as JSON Lines
+//	DELETE /jobs/{id}         cancel the job
+//	GET    /healthz           liveness plus queue occupancy
+//
+// Errors are JSON objects {"error": "..."} with conventional status
+// codes (400 bad spec, 404 unknown job, 409 cancel of a finished job,
+// 503 full queue or shutdown).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", r.PathValue("id")))
+		return
+	}
+	f, err := os.Open(job.ResultsPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			// No results yet: an empty stream, not an error.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, f)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+		return
+	}
+	if err := s.Cancel(id); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	job, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	closed := s.closed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       map[bool]string{false: "ok", true: "shutting-down"}[closed],
+		"jobs":         jobs,
+		"queue_len":    len(s.queue),
+		"queue_cap":    cap(s.queue),
+		"pool_workers": s.pool.NumWorkers(),
+	})
+}

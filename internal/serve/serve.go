@@ -1,0 +1,636 @@
+// Package serve is the fourth execution tier of the batch pipeline: a
+// long-running job service that accepts manifest analyses over
+// HTTP/JSON, runs them through core.RunBatchStream on one shared
+// worker pool and eigendecomposition cache, checkpoints every gene to
+// a per-job ledger (internal/checkpoint), and streams results back as
+// JSON Lines. Where tiers 1–3 are one-shot processes, the service
+// survives its jobs: a killed daemon restarts, revalidates every
+// unfinished job's ledger, and resumes each from its last checkpointed
+// gene.
+//
+// # Invariants
+//
+//   - One pool, one cache: every job's likelihood engines execute on
+//     the server's single lik.Pool and share its DecompCache, so
+//     concurrent jobs contend for CPU in the pool's queue instead of
+//     oversubscribing the machine, and repeated (κ, ω, π)
+//     decompositions are shared across jobs. Per-job results remain
+//     bit-identical to a standalone run — pool sharing reorders work,
+//     never arithmetic (the tier-2/3 guarantee).
+//   - Durable progress: a job's results file and checkpoint ledger
+//     live in the data directory and are synced gene by gene; the
+//     in-memory Job is just a view. Cancellation, graceful shutdown
+//     and crashes all leave the pair checkpoint-consistent, so a
+//     resumed job's output is byte-identical to an uninterrupted run.
+//   - Bounded intake: Submit refuses jobs beyond the queue depth
+//     instead of queueing unboundedly, and at most MaxActive jobs run
+//     at once.
+//   - States: queued → running → done | failed | cancelled |
+//     interrupted. "cancelled" is a caller's DELETE; "interrupted"
+//     means the daemon shut down first — the job resumes on the next
+//     start. Both stop promptly: no new gene starts, in-flight genes
+//     drain.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/lik"
+	"repro/internal/manifest"
+)
+
+// Config sizes the job service.
+type Config struct {
+	// DataDir holds per-job specs, results and checkpoint ledgers; it
+	// is created if absent. A restarted server pointed at the same
+	// directory recovers its jobs.
+	DataDir string
+	// PoolWorkers sizes the shared likelihood worker pool
+	// (0 = GOMAXPROCS).
+	PoolWorkers int
+	// QueueDepth bounds jobs waiting to run (default 16); Submit
+	// refuses beyond it.
+	QueueDepth int
+	// MaxActive bounds jobs running concurrently (default 1 — each job
+	// already parallelizes across its genes on the shared pool).
+	MaxActive int
+	// CacheSize caps the shared eigendecomposition cache (default
+	// 1024 entries).
+	CacheSize int
+	// Format selects the alignment format for every job
+	// (default: sniff per file).
+	Format align.Format
+}
+
+func (c *Config) fill() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = 1
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+}
+
+// Submit overload errors; the HTTP layer maps them to 503.
+var (
+	ErrQueueFull    = errors.New("serve: job queue is full")
+	ErrShuttingDown = errors.New("serve: server is shutting down")
+)
+
+// JobSpec is a submitted analysis: a manifest plus the
+// result-affecting options. Exactly one of ManifestPath and Manifest
+// must be set.
+type JobSpec struct {
+	// ManifestPath names a manifest file on the server's filesystem.
+	ManifestPath string `json:"manifest_path,omitempty"`
+	// Manifest is inline manifest text ("name align tree" rows);
+	// relative paths resolve against BaseDir.
+	Manifest string `json:"manifest,omitempty"`
+	BaseDir  string `json:"base_dir,omitempty"`
+
+	Engine           string `json:"engine,omitempty"` // baseline|slim|slim-sym|slim-bundled (default slim)
+	Freq             string `json:"freq,omitempty"`   // f61|f3x4|uniform (default f61)
+	MaxIter          int    `json:"max_iter,omitempty"`
+	Seed             int64  `json:"seed,omitempty"`
+	M0Start          bool   `json:"m0_start,omitempty"`
+	ShareFrequencies bool   `json:"share_frequencies,omitempty"`
+	// Concurrency bounds genes fitted at once within this job
+	// (0 = GOMAXPROCS); Prefetch bounds resident genes (0 = 2×
+	// concurrency).
+	Concurrency int `json:"concurrency,omitempty"`
+	Prefetch    int `json:"prefetch,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+	StateInterrupted = "interrupted"
+)
+
+// Job is one submitted analysis and its progress. All fields behind mu.
+type Job struct {
+	id      string
+	spec    JobSpec
+	entries []manifest.Entry
+	opts    core.StreamOptions
+
+	outPath, ledgerPath, countsPath, specPath string
+
+	mu        sync.Mutex
+	state     string
+	total     int
+	done      int
+	failed    int
+	errMsg    string
+	cancelled bool
+	cancel    context.CancelFunc // non-nil while running
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	summary   *core.StreamSummary
+}
+
+// Status is the wire representation of a job's state.
+type Status struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Total, Done and Failed are gene counts; Done includes genes
+	// checkpointed by earlier incarnations of a resumed job.
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	Error  string `json:"error,omitempty"`
+
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+
+	// RuntimeSec and the cache counters cover the job's last run
+	// segment (a resumed job restarts them).
+	RuntimeSec  float64 `json:"runtime_sec,omitempty"`
+	CacheHits   int     `json:"cache_hits,omitempty"`
+	CacheMisses int     `json:"cache_misses,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.id, State: j.state,
+		Total: j.total, Done: j.done, Failed: j.failed,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.summary != nil {
+		st.RuntimeSec = j.summary.Runtime.Seconds()
+		st.CacheHits = j.summary.CacheHits
+		st.CacheMisses = j.summary.CacheMisses
+	}
+	return st
+}
+
+// Server is the job service: a bounded queue of manifest jobs executed
+// on one shared pool and cache. Create with New, serve its Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg   Config
+	pool  *lik.Pool
+	cache *lik.DecompCache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// New builds a server, recovers any unfinished jobs found in the data
+// directory (re-queueing them to resume from their checkpoints), and
+// starts the job runners.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("serve: Config.DataDir is required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  lik.NewPool(cfg.PoolWorkers),
+		cache: lik.NewDecompCache(cfg.CacheSize),
+		jobs:  make(map[string]*Job),
+		quit:  make(chan struct{}),
+	}
+	recovered, err := s.recover()
+	if err != nil {
+		s.pool.Close()
+		return nil, err
+	}
+	// The queue must hold every recovered unfinished job plus the
+	// configured intake depth.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(recovered))
+	for _, job := range recovered {
+		s.queue <- job
+	}
+	for i := 0; i < cfg.MaxActive; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s, nil
+}
+
+// Jobs returns every job's status in submission order.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Job returns the job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// ResultsPath returns the job's JSONL results file.
+func (j *Job) ResultsPath() string { return j.outPath }
+
+// Submit validates the spec, persists it, and enqueues the job.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	entries, opts, err := s.resolveSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	job := s.newJob(id, spec, entries, opts)
+	job.submitted = time.Now()
+	// Reserve a queue slot before persisting so a full queue refuses
+	// cleanly.
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d queued)", ErrQueueFull, cap(s.queue))
+	}
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	if err := job.persistSpec(); err != nil {
+		// The runner will still execute the job; it just will not be
+		// recovered after a restart.
+		job.mu.Lock()
+		job.errMsg = fmt.Sprintf("spec not persisted: %v", err)
+		job.mu.Unlock()
+	}
+	return job, nil
+}
+
+// Cancel stops the job: a queued job is marked cancelled immediately, a
+// running job has its context cancelled (no new gene starts; in-flight
+// genes drain and the checkpoint stays consistent). Finished jobs
+// return an error.
+func (s *Server) Cancel(id string) error {
+	job, ok := s.Job(id)
+	if !ok {
+		return fmt.Errorf("serve: no job %s", id)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	switch job.state {
+	case StateQueued:
+		job.cancelled = true
+		job.state = StateCancelled
+		job.finished = time.Now()
+		return nil
+	case StateRunning:
+		job.cancelled = true
+		job.cancel()
+		return nil
+	}
+	return fmt.Errorf("serve: job %s already %s", id, job.state)
+}
+
+// Shutdown stops the service gracefully: intake closes, running jobs
+// are cancelled at their next gene boundary (their ledgers already
+// hold every delivered result), still-queued jobs are marked
+// interrupted, and the shared pool is released. Interrupted and
+// still-running work resumes when a new server is pointed at the same
+// data directory. The context bounds how long to wait for in-flight
+// genes to drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+
+	close(s.quit)
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+	// Runners are gone; mark whatever never ran as interrupted.
+	for {
+		select {
+		case job := <-s.queue:
+			job.mu.Lock()
+			if job.state == StateQueued {
+				job.state = StateInterrupted
+				job.finished = time.Now()
+			}
+			job.mu.Unlock()
+			continue
+		default:
+		}
+		break
+	}
+	s.pool.Close()
+	return nil
+}
+
+// runner executes queued jobs until shutdown.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob drives one job through the checkpointed stream.
+func (s *Server) runJob(job *Job) {
+	// The shutdown check and the cancel registration happen under one
+	// s.mu critical section: Shutdown sets closed and then cancels
+	// every registered job under the same lock order (s.mu → job.mu),
+	// so a job either sees closed here or has its cancel visible to
+	// Shutdown — it can never start uncancellable mid-shutdown.
+	s.mu.Lock()
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while queued
+		job.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	if s.closed {
+		job.state = StateInterrupted
+		job.finished = time.Now()
+		job.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job.cancel = cancel
+	job.state = StateRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+	s.mu.Unlock()
+	defer cancel()
+
+	sum, err := checkpoint.Run(ctx, checkpoint.RunConfig{
+		Entries: job.entries,
+		Format:  s.cfg.Format,
+		OutPath: job.outPath,
+		Opts:    job.opts,
+		Counts:  manifest.OpenCountCache(job.countsPath),
+		OnStart: func(completed, failed int) {
+			job.mu.Lock()
+			job.done, job.failed = completed, failed
+			job.mu.Unlock()
+		},
+		OnResult: func(r core.GeneResult) {
+			job.mu.Lock()
+			job.done++
+			if r.Err != nil {
+				job.failed++
+			}
+			job.mu.Unlock()
+		},
+	})
+
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.summary = sum
+	job.cancel = nil
+	job.finished = time.Now()
+	switch {
+	case err == nil:
+		job.state = StateDone
+	case errors.Is(err, context.Canceled):
+		if job.cancelled {
+			job.state = StateCancelled
+		} else {
+			job.state = StateInterrupted
+		}
+	default:
+		job.state = StateFailed
+		job.errMsg = err.Error()
+	}
+}
+
+// newJob wires a job's paths and in-memory state (caller holds s.mu or
+// is in recovery before runners start).
+func (s *Server) newJob(id string, spec JobSpec, entries []manifest.Entry, opts core.StreamOptions) *Job {
+	base := filepath.Join(s.cfg.DataDir, id)
+	return &Job{
+		id: id, spec: spec, entries: entries, opts: opts,
+		outPath:    base + ".jsonl",
+		ledgerPath: checkpoint.LedgerPath(base + ".jsonl"),
+		countsPath: base + ".counts",
+		specPath:   base + ".job.json",
+		state:      StateQueued,
+		total:      len(entries),
+	}
+}
+
+// persistSpec writes the job spec beside its results so a restarted
+// server can recover the job.
+func (j *Job) persistSpec() error {
+	data, err := json.MarshalIndent(j.spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(j.specPath, append(data, '\n'), 0o644)
+}
+
+// resolveSpec turns a spec into verified manifest entries and stream
+// options bound to the server's shared pool and cache.
+func (s *Server) resolveSpec(spec JobSpec) ([]manifest.Entry, core.StreamOptions, error) {
+	var opts core.StreamOptions
+	if (spec.ManifestPath == "") == (spec.Manifest == "") {
+		return nil, opts, fmt.Errorf("serve: exactly one of manifest_path and manifest is required")
+	}
+	var entries []manifest.Entry
+	var err error
+	if spec.ManifestPath != "" {
+		entries, err = manifest.Load(spec.ManifestPath)
+	} else {
+		entries, err = manifest.Parse(strings.NewReader(spec.Manifest), spec.BaseDir)
+		if err == nil {
+			err = manifest.Verify(entries)
+		}
+	}
+	if err != nil {
+		return nil, opts, err
+	}
+	engine, err := core.ParseEngineKind(spec.Engine)
+	if err != nil {
+		return nil, opts, err
+	}
+	freq, err := core.ParseFreqEstimator(spec.Freq)
+	if err != nil {
+		return nil, opts, err
+	}
+	opts = core.StreamOptions{
+		BatchOptions: core.BatchOptions{
+			Options: core.Options{
+				Engine:        engine,
+				Freq:          freq,
+				MaxIterations: spec.MaxIter,
+				Seed:          spec.Seed,
+				M0Start:       spec.M0Start,
+			},
+			Concurrency:      spec.Concurrency,
+			ShareFrequencies: spec.ShareFrequencies,
+			// PoolWorkers is ignored: the stream runs on the shared
+			// pool below.
+		},
+		Prefetch: spec.Prefetch,
+		Pool:     s.pool,
+		Decomps:  s.cache,
+	}
+	return entries, opts, nil
+}
+
+// recover scans the data directory for persisted job specs, reloading
+// finished jobs as status entries and returning unfinished ones for
+// re-queueing (their ledgers make the resume exact). Jobs whose
+// manifests no longer load or validate come back as failed rather than
+// poisoning the server.
+func (s *Server) recover() ([]*Job, error) {
+	des, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var specFiles []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".job.json") {
+			specFiles = append(specFiles, de.Name())
+		}
+	}
+	sort.Strings(specFiles) // ids are zero-padded: lexical = submission order
+	var requeue []*Job
+	for _, name := range specFiles {
+		id := strings.TrimSuffix(name, ".job.json")
+		var n int
+		if _, err := fmt.Sscanf(id, "j%06d", &n); err != nil {
+			continue // not one of ours
+		}
+		if n > s.nextID {
+			s.nextID = n
+		}
+		job, resume, err := s.recoverJob(id)
+		if err != nil {
+			job.state = StateFailed
+			job.errMsg = fmt.Sprintf("recovery: %v", err)
+			job.finished = time.Now()
+		} else if resume {
+			requeue = append(requeue, job)
+		}
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+	}
+	return requeue, nil
+}
+
+// recoverJob rebuilds one persisted job, reporting whether it still
+// needs to run. Always returns a job (possibly a shell holding only
+// the id) so failures stay visible.
+func (s *Server) recoverJob(id string) (*Job, bool, error) {
+	shell := s.newJob(id, JobSpec{}, nil, core.StreamOptions{})
+	data, err := os.ReadFile(shell.specPath)
+	if err != nil {
+		return shell, false, err
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return shell, false, err
+	}
+	entries, opts, err := s.resolveSpec(spec)
+	if err != nil {
+		return shell, false, err
+	}
+	job := s.newJob(id, spec, entries, opts)
+	job.submitted = time.Now()
+	if _, err := os.Stat(job.ledgerPath); err != nil {
+		return job, true, nil // never started: run fresh
+	}
+	ledger, err := checkpoint.Open(job.ledgerPath)
+	if err != nil {
+		return job, false, err
+	}
+	plan, err := ledger.Plan(entries, checkpoint.OptionsFingerprint(opts.BatchOptions, s.cfg.Format))
+	ledger.Close()
+	if err != nil {
+		return job, false, err
+	}
+	job.done, job.failed = plan.Skip, plan.Failed
+	if plan.Skip == len(entries) {
+		job.state = StateDone
+		job.finished = time.Now()
+		return job, false, nil
+	}
+	return job, true, nil
+}
