@@ -12,12 +12,19 @@
 //
 // API (see internal/serve):
 //
-//	POST   /jobs              submit {"manifest_path": "...", ...}
-//	GET    /jobs              list jobs
-//	GET    /jobs/{id}         status with per-gene progress
-//	GET    /jobs/{id}/results stream results as JSON Lines
-//	DELETE /jobs/{id}         cancel
-//	GET    /healthz           liveness + queue occupancy
+//	POST   /jobs                  submit {"manifest_path": "...", ...}
+//	GET    /jobs                  list jobs
+//	GET    /jobs/{id}             status with per-gene progress
+//	GET    /jobs/{id}/results     stream results as JSON Lines
+//	DELETE /jobs/{id}             cancel
+//	DELETE /jobs/{id}?purge=1     purge a finished job and its files
+//	GET    /healthz               liveness + queue occupancy
+//
+// The data directory grows one results+ledger pair per job; -retain
+// bounds it by purging done/failed/cancelled jobs once they have been
+// finished longer than the window (interrupted jobs are kept — they
+// resume on restart). cmd/slimcodemlx fans one manifest out across
+// several daemons and concatenates the shard results.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: running jobs stop at
 // their next gene boundary with every delivered result already
@@ -51,15 +58,16 @@ func main() {
 		cache   = flag.Int("cache", 1024, "shared eigendecomposition cache entries")
 		format  = flag.String("format", "auto", "alignment format for job files: fasta, phylip or auto")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight genes")
+		retain  = flag.Duration("retain", 0, "purge done/failed/cancelled jobs (files and all) this long after they finish; 0 keeps them forever")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *drain); err != nil {
+	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *drain, *retain); err != nil {
 		fmt.Fprintln(os.Stderr, "slimcodemld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, workers, active, queue, cache int, format string, drain time.Duration) error {
+func run(addr, dataDir string, workers, active, queue, cache int, format string, drain, retain time.Duration) error {
 	afmt, err := align.ParseFormat(format)
 	if err != nil {
 		return err
@@ -71,6 +79,7 @@ func run(addr, dataDir string, workers, active, queue, cache int, format string,
 		QueueDepth:  queue,
 		CacheSize:   cache,
 		Format:      afmt,
+		Retain:      retain,
 	})
 	if err != nil {
 		return err

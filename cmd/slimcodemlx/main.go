@@ -1,0 +1,126 @@
+// Command slimcodemlx fans one manifest out across several slimcodemld
+// daemons — the fifth execution tier. The manifest is sliced into
+// deterministic contiguous shards (the same split as slimcodeml
+// -shard i/n), one job per shard is submitted to the daemon fleet over
+// HTTP, and the per-shard JSONL results are concatenated, in shard
+// order, into a single output file byte-identical to a standalone
+// `slimcodeml -manifest -resume` run of the whole manifest.
+//
+// Usage:
+//
+//	slimcodemlx -manifest genes.tsv \
+//	    -endpoints host1:8710,host2:8710,host3:8710 \
+//	    -out results.jsonl [flags]
+//
+// The run is durable: shard submissions and merged shards are recorded
+// in a fsynced ledger beside -out (<out>.fanout), so a killed
+// coordinator rerun with the identical command skips already-merged
+// shards and re-attaches to jobs still running on their daemons. A
+// daemon that stops answering is excluded and its shards are
+// resubmitted to the rest of the fleet. Every daemon must see the
+// manifest's alignment and tree files at the same (absolute) paths —
+// run the fleet over a shared filesystem.
+//
+// -purge deletes each shard's job from its daemon once the shard is
+// safely merged, so a completed fan-out leaves the fleet's data
+// directories empty (see also slimcodemld -retain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fanout"
+	"repro/internal/manifest"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		maniPath  = flag.String("manifest", "", "manifest file with one 'name alignment-path tree-path' row per gene")
+		dirPath   = flag.String("dir", "", "directory pairing NAME.{fasta,fa,fna,phy,phylip} with NAME.{nwk,tree,newick} (alternative to -manifest)")
+		endpoints = flag.String("endpoints", "", "comma-separated slimcodemld base URLs (host:port or http://host:port)")
+		shards    = flag.Int("shards", 0, "contiguous row ranges to split the manifest into (0 = one per endpoint)")
+		outPath   = flag.String("out", "", "merged JSONL results file; the fan-out ledger lives beside it (<out>.fanout)")
+		poll      = flag.Duration("poll", 500*time.Millisecond, "job status poll interval")
+		resubmits = flag.Int("resubmits", 3, "max resubmissions per shard after daemon failures")
+		purge     = flag.Bool("purge", false, "delete each shard's job from its daemon once the shard is merged")
+		engine    = flag.String("engine", "slim", "engine: baseline, slim, slim-sym or slim-bundled")
+		freq      = flag.String("freq", "f61", "codon frequencies: f61, f3x4 or uniform")
+		maxIter   = flag.Int("maxiter", 500, "maximum BFGS iterations per hypothesis")
+		seed      = flag.Int64("seed", 1, "seed for the starting parameter values")
+		m0start   = flag.Bool("m0start", false, "initialize branch lengths from an M0 pre-fit")
+		jobs      = flag.Int("jobs", 0, "genes fitted concurrently within each daemon job (0 = daemon's GOMAXPROCS)")
+		prefetch  = flag.Int("prefetch", 0, "genes resident at once within each daemon job (0 = 2×jobs)")
+		quiet     = flag.Bool("quiet", false, "suppress per-shard progress lines")
+	)
+	flag.Parse()
+	if (*maniPath == "") == (*dirPath == "") || *endpoints == "" || *outPath == "" {
+		fmt.Fprintln(os.Stderr, "slimcodemlx: exactly one of -manifest/-dir, plus -endpoints and -out, are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var entries []manifest.Entry
+	var err error
+	if *maniPath != "" {
+		entries, err = manifest.Load(*maniPath)
+	} else {
+		entries, err = manifest.ScanDir(*dirPath)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slimcodemlx:", err)
+		os.Exit(1)
+	}
+
+	var eps []string
+	for _, e := range strings.Split(*endpoints, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			eps = append(eps, e)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	if *quiet {
+		logf = nil
+	}
+	fmt.Printf("SlimCodeML fan-out: %d genes over %d endpoints\n", len(entries), len(eps))
+	sum, err := fanout.Run(ctx, fanout.Config{
+		Entries:      entries,
+		Endpoints:    eps,
+		Shards:       *shards,
+		OutPath:      *outPath,
+		Poll:         *poll,
+		MaxResubmits: *resubmits,
+		Purge:        *purge,
+		Spec: serve.JobSpec{
+			Engine:      *engine,
+			Freq:        *freq,
+			MaxIter:     *maxIter,
+			Seed:        *seed,
+			M0Start:     *m0start,
+			Concurrency: *jobs,
+			Prefetch:    *prefetch,
+		},
+		Logf: logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slimcodemlx:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("fan-out: %d genes in %d shards (%d resumed, %d adopted, %d resubmitted), %.2f s → %s\n",
+		sum.Genes, sum.Shards, sum.Skipped, sum.Adopted, sum.Resubmits, sum.Runtime.Seconds(), *outPath)
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/core"
+)
+
+// Snapshot is a machine-readable recording of the parallel sweeps —
+// the perf-trajectory format checked into the repository root
+// (BENCH_fanout.json). Like the printed sweep tables, it embeds the
+// measuring machine's GOMAXPROCS and an explicit caveat, so a
+// recording taken on a 1-core CI container cannot be mistaken for a
+// multicore scaling result.
+type Snapshot struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Caveat     string `json:"caveat"`
+	// ParallelEval is the full-evaluation sweep (serial vs class vs
+	// block pool) on the dataset-iii shape; durations in ns/op.
+	ParallelEval SnapshotEval `json:"parallel_eval"`
+	// TransitionRefresh is the transition-phase sweep (full P(t)
+	// rebuild) across tree sizes of the dataset-iv family.
+	TransitionRefresh []SnapshotRefresh `json:"transition_refresh"`
+}
+
+// SnapshotEval mirrors ParallelSweep with JSON-stable units.
+type SnapshotEval struct {
+	SerialNs int64           `json:"serial_ns_per_op"`
+	ClassNs  int64           `json:"class_ns_per_op"`
+	Points   []SnapshotPoint `json:"block_pool"`
+}
+
+// SnapshotRefresh mirrors TransitionSweep with JSON-stable units.
+type SnapshotRefresh struct {
+	Species  int             `json:"species"`
+	Branches int             `json:"branches"`
+	Tasks    int             `json:"builds_per_refresh"`
+	SerialNs int64           `json:"serial_ns_per_op"`
+	Points   []SnapshotPoint `json:"block_pool"`
+}
+
+// SnapshotPoint is one worker count's timing.
+type SnapshotPoint struct {
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// caveatFor states what a recording at this core count can and cannot
+// demonstrate — carried inside the file, not in a README footnote.
+func caveatFor(procs int) string {
+	if procs <= 1 {
+		return fmt.Sprintf("recorded with GOMAXPROCS=%d: all pool workers share one hardware thread, so these numbers demonstrate only that pool scheduling overhead is within noise of the serial engine, NOT multicore scaling; re-record on a >=8-core machine", procs)
+	}
+	return fmt.Sprintf("recorded with GOMAXPROCS=%d; speedups are bounded by that core count", procs)
+}
+
+// RecordSnapshot runs the two sweeps on the current machine and
+// packages them as a snapshot: the parallel-evaluation sweep on the
+// dataset-iii shape, and the transition sweep on the dataset-iv family
+// at the given species counts. Every configuration computes
+// bit-identical results; only scheduling differs.
+func RecordSnapshot(workerCounts []int, species []int, evals int) (*Snapshot, error) {
+	snap := &Snapshot{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Caveat:     caveatFor(runtime.GOMAXPROCS(0)),
+	}
+
+	fx, err := NewEvalFixture("iii", 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	// The same engine configurations the repository's testing.B
+	// benchmarks record: bundled kernels for the evaluation sweep, the
+	// slim engine for the transition sweep.
+	ps, err := RunParallelSweep(fx, core.EngineSlimBundled.LikConfig(), workerCounts, evals)
+	if err != nil {
+		return nil, err
+	}
+	snap.ParallelEval = SnapshotEval{
+		SerialNs: ps.Serial.Nanoseconds(),
+		ClassNs:  ps.Class.Nanoseconds(),
+	}
+	for _, p := range ps.Points {
+		snap.ParallelEval.Points = append(snap.ParallelEval.Points, SnapshotPoint{
+			Workers: p.Workers, NsPerOp: p.Eval.Nanoseconds(), Speedup: p.SpeedupVsClass,
+		})
+	}
+
+	for _, sp := range species {
+		fx, err := NewEvalFixture("iv", sp, 1)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := RunTransitionSweep(fx, core.EngineSlim.LikConfig(), workerCounts, evals)
+		if err != nil {
+			return nil, err
+		}
+		ref := SnapshotRefresh{
+			Species:  sp,
+			Branches: ts.Branches,
+			Tasks:    ts.Tasks,
+			SerialNs: ts.Serial.Nanoseconds(),
+		}
+		for _, p := range ts.Points {
+			ref.Points = append(ref.Points, SnapshotPoint{
+				Workers: p.Workers, NsPerOp: p.Refresh.Nanoseconds(), Speedup: p.SpeedupVsSerial,
+			})
+		}
+		snap.TransitionRefresh = append(snap.TransitionRefresh, ref)
+	}
+	return snap, nil
+}
+
+// Write emits the snapshot as indented JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -228,16 +228,23 @@ func (l *Ledger) AppendFrequencies(pi []float64) error {
 
 // append writes one line and syncs it.
 func (l *Ledger) append(ln ledgerLine) error {
-	b, err := json.Marshal(ln)
+	return appendJSONLine(l.f, l.path, ln)
+}
+
+// appendJSONLine durably appends one JSON line: marshal, write, fsync.
+// Shared by the gene ledger and the fan-out shard ledger so both obey
+// the same append discipline.
+func appendJSONLine(f *os.File, path string, v any) error {
+	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	b = append(b, '\n')
-	if _, err := l.f.Write(b); err != nil {
-		return fmt.Errorf("checkpoint: %s: %w", l.path, err)
+	if _, err := f.Write(b); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("checkpoint: %s: %w", l.path, err)
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
 	}
 	return nil
 }

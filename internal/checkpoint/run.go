@@ -2,7 +2,9 @@ package checkpoint
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 
 	"repro/internal/align"
@@ -58,7 +60,8 @@ func Run(ctx context.Context, cfg RunConfig) (*core.StreamSummary, error) {
 
 	var ledger *Ledger
 	var plan Plan
-	if _, err := os.Stat(ledgerPath); err == nil {
+	if _, statErr := os.Stat(ledgerPath); statErr == nil {
+		var err error
 		ledger, err = Open(ledgerPath)
 		if err != nil {
 			return nil, err
@@ -68,7 +71,11 @@ func Run(ctx context.Context, cfg RunConfig) (*core.StreamSummary, error) {
 			ledger.Close()
 			return nil, err
 		}
+	} else if !errors.Is(statErr, fs.ErrNotExist) {
+		// A transient stat failure must not truncate a resumable ledger.
+		return nil, fmt.Errorf("checkpoint: %s: %w", ledgerPath, statErr)
 	} else {
+		var err error
 		ledger, err = Create(ledgerPath, Header{
 			ManifestDigest: manifest.Digest(cfg.Entries),
 			Genes:          len(cfg.Entries),

@@ -1,0 +1,168 @@
+package checkpoint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/manifest"
+)
+
+func shardEntries(n int) []manifest.Entry {
+	entries := make([]manifest.Entry, n)
+	for i := range entries {
+		name := string(rune('a' + i))
+		entries[i] = manifest.Entry{Name: name, AlignPath: "/d/" + name + ".fasta", TreePath: "/d/" + name + ".nwk"}
+	}
+	return entries
+}
+
+// A shard ledger round-trips: create, record submits (with a
+// resubmission) and a done prefix, reopen, and the plan reflects the
+// done prefix, the resume offset, and the latest assignment per
+// unfinished shard.
+func TestShardLedgerRoundTrip(t *testing.T) {
+	entries := shardEntries(6)
+	path := filepath.Join(t.TempDir(), "out.jsonl.fanout")
+	h := checkpoint.ShardHeader{
+		ManifestDigest: manifest.Digest(entries),
+		Genes:          len(entries),
+		Shards:         3,
+		Options:        "opts-v1",
+	}
+	l, err := checkpoint.CreateShardLedger(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []checkpoint.ShardSubmit{
+		{Shard: 0, Endpoint: "http://a:1", JobID: "j000001"},
+		{Shard: 1, Endpoint: "http://b:1", JobID: "j000001"},
+		{Shard: 2, Endpoint: "http://a:1", JobID: "j000002"},
+		// Shard 2 resubmitted after daemon a died: latest must win.
+		{Shard: 2, Endpoint: "http://b:1", JobID: "j000009"},
+	}
+	for _, s := range steps {
+		if err := l.AppendSubmit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendDone(checkpoint.ShardDone{Shard: 0, Offset: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := checkpoint.OpenShardLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	plan, err := re.PlanShards(entries, 3, "opts-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Done != 1 || plan.Offset != 120 {
+		t.Fatalf("plan %+v, want Done=1 Offset=120", plan)
+	}
+	if got := plan.Assignments[1]; got != steps[1] {
+		t.Fatalf("shard 1 assignment %+v, want %+v", got, steps[1])
+	}
+	if got := plan.Assignments[2]; got != steps[3] {
+		t.Fatalf("shard 2 assignment %+v, want the latest resubmission %+v", got, steps[3])
+	}
+	if _, ok := plan.Assignments[0]; ok {
+		t.Fatal("done shard 0 still has an assignment in the plan")
+	}
+}
+
+// A torn final line (crash mid-append) is dropped on open; earlier
+// records survive.
+func TestShardLedgerTornTail(t *testing.T) {
+	entries := shardEntries(4)
+	path := filepath.Join(t.TempDir(), "out.jsonl.fanout")
+	l, err := checkpoint.CreateShardLedger(path, checkpoint.ShardHeader{
+		ManifestDigest: manifest.Digest(entries), Genes: 4, Shards: 2, Options: "o",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendSubmit(checkpoint.ShardSubmit{Shard: 0, Endpoint: "http://a:1", JobID: "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDone(checkpoint.ShardDone{Shard: 0, Offset: 55}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"done":{"shard":1,"off`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := checkpoint.OpenShardLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	plan, err := re.PlanShards(entries, 2, "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Done != 1 || plan.Offset != 55 {
+		t.Fatalf("plan after torn tail %+v, want Done=1 Offset=55", plan)
+	}
+}
+
+// Resuming under a changed manifest, shard count or options is refused.
+func TestShardLedgerRefusesMismatchedRun(t *testing.T) {
+	entries := shardEntries(4)
+	path := filepath.Join(t.TempDir(), "out.jsonl.fanout")
+	l, err := checkpoint.CreateShardLedger(path, checkpoint.ShardHeader{
+		ManifestDigest: manifest.Digest(entries), Genes: 4, Shards: 2, Options: "o",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	edited := shardEntries(4)
+	edited[2].TreePath = "/elsewhere/c.nwk"
+	if _, err := l.PlanShards(edited, 2, "o"); err == nil {
+		t.Fatal("plan accepted an edited manifest")
+	}
+	if _, err := l.PlanShards(entries, 3, "o"); err == nil {
+		t.Fatal("plan accepted a changed shard count")
+	}
+	if _, err := l.PlanShards(entries, 2, "other"); err == nil {
+		t.Fatal("plan accepted changed options")
+	}
+	if _, err := l.PlanShards(entries, 2, "o"); err != nil {
+		t.Fatalf("plan rejected the matching run: %v", err)
+	}
+}
+
+// Done records must form the shard prefix with monotone offsets.
+func TestShardLedgerRefusesOutOfOrderDone(t *testing.T) {
+	entries := shardEntries(4)
+	path := filepath.Join(t.TempDir(), "out.jsonl.fanout")
+	l, err := checkpoint.CreateShardLedger(path, checkpoint.ShardHeader{
+		ManifestDigest: manifest.Digest(entries), Genes: 4, Shards: 2, Options: "o",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendDone(checkpoint.ShardDone{Shard: 1, Offset: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PlanShards(entries, 2, "o"); err == nil {
+		t.Fatal("plan accepted a done record skipping shard 0")
+	}
+	l.Close()
+}

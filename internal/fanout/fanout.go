@@ -1,0 +1,707 @@
+// Package fanout is the fifth execution tier: a coordinator that
+// scales one manifest across several slimcodemld daemons. It slices
+// the manifest into deterministic contiguous shards (manifest.Shard),
+// submits one job per shard over the daemons' HTTP API (serve.Client),
+// polls the jobs, and concatenates the per-shard JSONL results — in
+// shard order — into a single output file that is byte-identical to a
+// standalone single-process run of the same manifest.
+//
+// # Invariants
+//
+//   - Deterministic merge: shard results are appended to the output
+//     strictly in shard order, no matter which daemon finishes first.
+//     Because manifest.Shard partitions the rows contiguously and each
+//     daemon's checkpointed stream writes the deterministic JSONL
+//     projection in row order, the concatenation equals the rows a
+//     single `slimcodeml -manifest -resume` run writes, byte for byte.
+//   - Durable coordination: every shard submission (which daemon, which
+//     job id) and every appended shard (output offset) is recorded in a
+//     fsynced shard ledger (checkpoint.ShardLedger) beside the output —
+//     shard data reaches disk before the ledger line that describes it.
+//     A killed coordinator rerun with the identical configuration skips
+//     the appended shards, adopts still-running jobs on their daemons,
+//     and resubmits the rest; resuming under a changed manifest, shard
+//     count or options is refused.
+//   - Failure containment: a daemon that stops answering is excluded
+//     for the rest of the run and its unfinished shards are resubmitted
+//     to the remaining daemons (the resubmitted job re-runs the shard
+//     from scratch — per-daemon checkpoints do not travel). A shard is
+//     resubmitted at most MaxResubmits times before the run fails.
+//     Finished shards are downloaded to a local spool file the moment
+//     their job reports done, so a daemon that subsequently dies — or
+//     purges the job via its retention sweep — while earlier shards
+//     are still running costs nothing.
+//   - Job-level failures surface: a per-gene error rides inside the
+//     results as an error row (and is counted, not fatal), but a job
+//     the daemon reports as failed is retried like a dead daemon —
+//     capped, so a deterministic failure stops the run with the
+//     daemon's message instead of looping.
+package fanout
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/manifest"
+	"repro/internal/serve"
+)
+
+// Config describes one fan-out run.
+type Config struct {
+	// Entries is the full manifest (all rows, before sharding).
+	Entries []manifest.Entry
+	// Endpoints are the daemon base URLs (e.g. "http://host:8710";
+	// bare host:port is accepted). At least one is required; shards are
+	// assigned round-robin and re-routed away from dead endpoints.
+	Endpoints []string
+	// Shards is how many contiguous row ranges to split the manifest
+	// into (0 = one per endpoint). More shards than endpoints gives
+	// finer-grained redistribution when a daemon dies.
+	Shards int
+	// OutPath is the merged JSONL output; the shard ledger lives beside
+	// it (checkpoint.ShardLedgerPath) unless LedgerFile overrides it.
+	OutPath    string
+	LedgerFile string
+	// Spec carries the result-affecting job options. Its manifest
+	// fields (Manifest, ManifestPath, BaseDir) must be empty — the
+	// coordinator fills in each shard's rows — and ShareFrequencies
+	// must be false: per-shard pooled frequencies would diverge from a
+	// whole-manifest run, breaking the byte-parity contract.
+	Spec serve.JobSpec
+	// Poll is the job status poll interval (default 500 ms).
+	Poll time.Duration
+	// MaxResubmits caps how often one shard may be resubmitted after
+	// daemon failures before the run fails (default 3).
+	MaxResubmits int
+	// Purge, when set, deletes each shard's job (results, ledger and
+	// spec files) from its daemon after the shard is safely appended to
+	// the merged output, so a fan-out run leaves no data behind.
+	Purge bool
+
+	// Logf, when set, receives progress lines (endpoint deaths,
+	// resubmissions, appended shards).
+	Logf func(format string, args ...any)
+	// OnSubmitted and OnAppended, when set, observe shard lifecycle
+	// transitions — progress displays and tests hook in here.
+	OnSubmitted func(shard int, endpoint, jobID string)
+	OnAppended  func(shard int, offset int64)
+}
+
+// Summary reports one fan-out run.
+type Summary struct {
+	Genes   int // manifest rows covered
+	Shards  int
+	Skipped int // shards already appended by a previous (resumed) run
+	// Adopted counts shards whose in-flight daemon job a resumed
+	// coordinator picked up instead of resubmitting.
+	Adopted   int
+	Resubmits int
+	Runtime   time.Duration
+}
+
+// Fingerprint canonicalizes the result-affecting fields of a job spec
+// — the fan-out analogue of checkpoint.OptionsFingerprint. Scheduling
+// knobs (Concurrency, Prefetch) are deliberately absent: daemons
+// guarantee bit-identical results across them, so a run may resume
+// with different parallelism.
+func Fingerprint(spec serve.JobSpec) string {
+	return fmt.Sprintf("engine=%s freq=%s maxiter=%d seed=%d m0start=%t sharefreq=%t",
+		spec.Engine, spec.Freq, spec.MaxIter, spec.Seed, spec.M0Start, spec.ShareFrequencies)
+}
+
+// shard phases. A shard advances pending → submitted → jobDone, and is
+// retired when its results are appended (coordinator's next counter).
+const (
+	shardPending = iota
+	shardSubmitted
+	shardJobDone
+)
+
+// shardState is the coordinator's view of one shard.
+type shardState struct {
+	entries   []manifest.Entry
+	text      string // serialized manifest rows, submitted inline
+	digest    string // manifest.Digest of the shard's rows
+	phase     int
+	endpoint  int // index into coord.eps while submitted
+	jobID     string
+	resubmits int
+	// spool is the local file the shard's results are downloaded to as
+	// soon as its job is done — before its in-order merge turn — so a
+	// daemon that purges or loses a finished job (retention sweep,
+	// crash) after this point costs nothing.
+	spool string
+}
+
+// endpointState is one daemon and its health.
+type endpointState struct {
+	url    string
+	client *serve.Client
+	alive  bool
+}
+
+type coord struct {
+	cfg    Config
+	eps    []*endpointState
+	shards []*shardState
+	ledger *checkpoint.ShardLedger
+	out    *os.File
+	offset int64
+	next   int // next shard to append
+	sum    Summary
+}
+
+func (c *coord) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Run executes (or resumes) a fan-out run and blocks until the merged
+// output is complete. Cancelling ctx stops the coordinator at a
+// ledger-consistent point — submitted jobs keep running on their
+// daemons, and rerunning the identical configuration adopts them.
+func Run(ctx context.Context, cfg Config) (*Summary, error) {
+	start := time.Now()
+	c, err := newCoord(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.ledger.Close()
+	defer c.out.Close()
+
+	if err := c.adoptAssignments(ctx); err != nil {
+		return nil, err
+	}
+	for c.next < len(c.shards) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("fanout: interrupted with %d/%d shards merged — rerun the identical command to resume: %w", c.next, len(c.shards), err)
+		}
+		if err := c.submitPending(ctx); err != nil {
+			return nil, err
+		}
+		if err := c.pollSubmitted(ctx); err != nil {
+			return nil, err
+		}
+		if err := c.appendReady(ctx); err != nil {
+			return nil, err
+		}
+		if c.next == len(c.shards) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(c.cfg.Poll):
+		}
+	}
+	c.sum.Runtime = time.Since(start)
+	return &c.sum, nil
+}
+
+// newCoord validates the configuration, opens (or creates) the shard
+// ledger, and positions the merged output at the resume offset.
+func newCoord(cfg Config) (*coord, error) {
+	if len(cfg.Entries) == 0 {
+		return nil, fmt.Errorf("fanout: no manifest rows")
+	}
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("fanout: no daemon endpoints")
+	}
+	if cfg.OutPath == "" {
+		return nil, fmt.Errorf("fanout: an output path is required")
+	}
+	if cfg.Spec.Manifest != "" || cfg.Spec.ManifestPath != "" || cfg.Spec.BaseDir != "" {
+		return nil, fmt.Errorf("fanout: the job spec's manifest fields are filled per shard; leave them empty")
+	}
+	if cfg.Spec.ShareFrequencies {
+		return nil, fmt.Errorf("fanout: share_frequencies pools codon counts per shard, which diverges from a whole-manifest run; run -sharefreq standalone instead")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = len(cfg.Endpoints)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fanout: shard count %d < 1", cfg.Shards)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.MaxResubmits <= 0 {
+		cfg.MaxResubmits = 3
+	}
+
+	// Daemons resolve inline manifest rows on their own filesystem, so
+	// every path must be absolute — a relative path would resolve
+	// against the daemon's working directory, not ours.
+	entries, err := absEntries(cfg.Entries)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Entries = entries
+
+	c := &coord{cfg: cfg}
+	for _, url := range cfg.Endpoints {
+		c.eps = append(c.eps, &endpointState{url: url, client: serve.NewClient(url), alive: true})
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		rows, err := manifest.Shard(entries, i+1, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		st := &shardState{entries: rows, spool: fmt.Sprintf("%s.shard%d.tmp", cfg.OutPath, i)}
+		if len(rows) > 0 {
+			st.digest = manifest.Digest(rows)
+			var b strings.Builder
+			if err := manifest.Write(&b, rows); err != nil {
+				return nil, err
+			}
+			st.text = b.String()
+		}
+		c.shards = append(c.shards, st)
+	}
+	c.sum.Genes = len(entries)
+	c.sum.Shards = cfg.Shards
+
+	fp := Fingerprint(cfg.Spec)
+	ledgerPath := cfg.LedgerFile
+	if ledgerPath == "" {
+		ledgerPath = checkpoint.ShardLedgerPath(cfg.OutPath)
+	}
+	var plan checkpoint.ShardPlan
+	if _, statErr := os.Stat(ledgerPath); statErr == nil {
+		c.ledger, err = checkpoint.OpenShardLedger(ledgerPath)
+		if err != nil {
+			return nil, err
+		}
+		plan, err = c.ledger.PlanShards(entries, cfg.Shards, fp)
+		if err != nil {
+			c.ledger.Close()
+			return nil, err
+		}
+	} else if !errors.Is(statErr, fs.ErrNotExist) {
+		// A transient stat failure must not truncate a resumable ledger.
+		return nil, fmt.Errorf("fanout: %s: %w", ledgerPath, statErr)
+	} else {
+		c.ledger, err = checkpoint.CreateShardLedger(ledgerPath, checkpoint.ShardHeader{
+			ManifestDigest: manifest.Digest(entries),
+			Genes:          len(entries),
+			Shards:         cfg.Shards,
+			Options:        fp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan.Assignments = map[int]checkpoint.ShardSubmit{}
+	}
+	c.next = plan.Done
+	c.offset = plan.Offset
+	c.sum.Skipped = plan.Done
+
+	// OpenOutput truncates any tail a crash wrote past the last
+	// ledgered shard and positions appends at the offset.
+	c.out, err = checkpoint.OpenOutput(cfg.OutPath, plan.Offset)
+	if err != nil {
+		c.ledger.Close()
+		return nil, err
+	}
+
+	// Spool files are only trusted within one coordinator incarnation
+	// (a kill can tear a download mid-copy); stale ones are refetched.
+	for _, st := range c.shards {
+		os.Remove(st.spool)
+	}
+
+	// Re-attach recorded assignments for the shards still to merge;
+	// adoptAssignments probes them before the main loop.
+	for i := c.next; i < len(c.shards); i++ {
+		if sub, ok := plan.Assignments[i]; ok {
+			if ep := c.endpointIndex(sub.Endpoint); ep >= 0 {
+				c.shards[i].phase = shardSubmitted
+				c.shards[i].endpoint = ep
+				c.shards[i].jobID = sub.JobID
+			}
+			// An endpoint no longer configured is simply not adopted;
+			// the shard is resubmitted to the current fleet.
+		}
+	}
+	return c, nil
+}
+
+// absEntries resolves every manifest path to an absolute one.
+func absEntries(entries []manifest.Entry) ([]manifest.Entry, error) {
+	out := make([]manifest.Entry, len(entries))
+	for i, e := range entries {
+		a, err := filepath.Abs(e.AlignPath)
+		if err != nil {
+			return nil, fmt.Errorf("fanout: %s: %w", e.AlignPath, err)
+		}
+		t, err := filepath.Abs(e.TreePath)
+		if err != nil {
+			return nil, fmt.Errorf("fanout: %s: %w", e.TreePath, err)
+		}
+		out[i] = manifest.Entry{Name: e.Name, AlignPath: a, TreePath: t}
+	}
+	return out, nil
+}
+
+// endpointIndex maps a recorded endpoint URL back to its config slot.
+func (c *coord) endpointIndex(url string) int {
+	for i, ep := range c.eps {
+		if ep.url == url {
+			return i
+		}
+	}
+	return -1
+}
+
+// aliveCount returns how many endpoints are still in play, so the
+// coordinator can fail fast when the whole fleet is gone.
+func (c *coord) aliveCount() int {
+	n := 0
+	for _, ep := range c.eps {
+		if ep.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// markDead excludes an endpoint for the rest of the run.
+func (c *coord) markDead(idx int, err error) {
+	if c.eps[idx].alive {
+		c.eps[idx].alive = false
+		c.logf("fanout: endpoint %s is not answering (%v); excluding it", c.eps[idx].url, err)
+	}
+}
+
+// demote returns a submitted shard to pending for resubmission,
+// failing the run once the shard has exhausted its resubmission budget.
+func (c *coord) demote(shard int, reason string) error {
+	st := c.shards[shard]
+	st.phase = shardPending
+	st.jobID = ""
+	st.resubmits++
+	c.sum.Resubmits++
+	c.logf("fanout: shard %d/%d needs resubmission (%s; attempt %d of %d)",
+		shard+1, len(c.shards), reason, st.resubmits, c.cfg.MaxResubmits)
+	if st.resubmits > c.cfg.MaxResubmits {
+		return fmt.Errorf("fanout: shard %d failed %d times, last: %s", shard, st.resubmits, reason)
+	}
+	return nil
+}
+
+// adoptAssignments probes the ledger's recorded jobs so a resumed
+// coordinator keeps polling still-live daemon jobs instead of starting
+// them over. A job the daemon no longer knows (or a daemon that is
+// gone) sends the shard back to pending.
+func (c *coord) adoptAssignments(ctx context.Context) error {
+	for i := c.next; i < len(c.shards); i++ {
+		st := c.shards[i]
+		if st.phase != shardSubmitted {
+			continue
+		}
+		ep := c.eps[st.endpoint]
+		if !ep.alive {
+			st.phase = shardPending
+			st.jobID = ""
+			continue
+		}
+		status, err := ep.client.JobStatus(ctx, st.jobID)
+		// Job ids can be reissued after a purge + daemon restart, so an
+		// id match alone does not identify the shard's job: the daemon's
+		// manifest digest must match the shard's rows, or the recorded
+		// id now names someone else's job and the shard is rerun.
+		sameJob := err == nil && status.ManifestDigest == st.digest
+		switch {
+		case sameJob && (status.State == serve.StateQueued || status.State == serve.StateRunning ||
+			status.State == serve.StateInterrupted):
+			c.sum.Adopted++
+			c.logf("fanout: shard %d/%d: adopted job %s on %s (%s, %d/%d genes)",
+				i+1, len(c.shards), st.jobID, ep.url, status.State, status.Done, status.Total)
+		case sameJob && status.State == serve.StateDone:
+			st.phase = shardJobDone
+			c.sum.Adopted++
+			c.logf("fanout: shard %d/%d: adopted finished job %s on %s", i+1, len(c.shards), st.jobID, ep.url)
+		case err == nil || serve.IsNotFound(err):
+			// Failed, cancelled, or forgotten: run it again.
+			st.phase = shardPending
+			st.jobID = ""
+		default:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if isAPIError(err) {
+				// A transient server-side error: keep the assignment;
+				// the main poll loop retries it rather than orphaning
+				// a possibly near-done job.
+				continue
+			}
+			c.markDead(st.endpoint, err)
+			st.phase = shardPending
+			st.jobID = ""
+		}
+	}
+	return nil
+}
+
+// submitPending submits a job for every pending non-empty shard,
+// spreading shards round-robin and skipping dead or momentarily full
+// (503) endpoints. A shard every alive daemon refuses with 503 stays
+// pending and is retried next round.
+func (c *coord) submitPending(ctx context.Context) error {
+	for i := c.next; i < len(c.shards); i++ {
+		st := c.shards[i]
+		if st.phase != shardPending || len(st.entries) == 0 {
+			continue
+		}
+		if c.aliveCount() == 0 {
+			return fmt.Errorf("fanout: all %d endpoints are dead", len(c.eps))
+		}
+		for off := 0; off < len(c.eps); off++ {
+			idx := (i + off) % len(c.eps)
+			ep := c.eps[idx]
+			if !ep.alive {
+				continue
+			}
+			spec := c.cfg.Spec
+			spec.Manifest = st.text
+			status, err := ep.client.Submit(ctx, spec)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				if serve.IsUnavailable(err) {
+					continue // full queue or draining: try the next daemon
+				}
+				if !isAPIError(err) {
+					c.markDead(idx, err)
+					continue
+				}
+				// A 4xx is a spec problem every daemon will repeat.
+				return fmt.Errorf("fanout: shard %d refused by %s: %w", i, ep.url, err)
+			}
+			st.phase = shardSubmitted
+			st.endpoint = idx
+			st.jobID = status.ID
+			if err := c.ledger.AppendSubmit(checkpoint.ShardSubmit{Shard: i, Endpoint: ep.url, JobID: status.ID}); err != nil {
+				return err
+			}
+			c.logf("fanout: shard %d/%d (%d genes) → %s as %s", i+1, len(c.shards), len(st.entries), ep.url, status.ID)
+			if c.cfg.OnSubmitted != nil {
+				c.cfg.OnSubmitted(i, ep.url, status.ID)
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// pollSubmitted advances every submitted shard: done jobs become
+// appendable, lost jobs and dead daemons send the shard back for
+// resubmission, and a job the daemon reports failed consumes one
+// resubmission attempt (so deterministic failures stop the run).
+func (c *coord) pollSubmitted(ctx context.Context) error {
+	for i := c.next; i < len(c.shards); i++ {
+		st := c.shards[i]
+		if st.phase != shardSubmitted {
+			continue
+		}
+		ep := c.eps[st.endpoint]
+		status, err := ep.client.JobStatus(ctx, st.jobID)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			reason := fmt.Sprintf("job %s lost by %s", st.jobID, ep.url)
+			if !isAPIError(err) {
+				c.markDead(st.endpoint, err)
+				reason = fmt.Sprintf("endpoint %s died", ep.url)
+			} else if !serve.IsNotFound(err) {
+				continue // transient server hiccup: poll again next round
+			}
+			if err := c.demote(i, reason); err != nil {
+				return err
+			}
+			continue
+		}
+		switch status.State {
+		case serve.StateDone:
+			// Download the results immediately — before this shard's
+			// in-order merge turn — so a daemon that purges (-retain),
+			// loses or outlives a finished job afterwards costs
+			// nothing. spoolShard demotes the shard itself on failure.
+			if err := c.spoolShard(ctx, i); err != nil {
+				return err
+			}
+		case serve.StateFailed:
+			if err := c.demote(i, fmt.Sprintf("job failed on %s: %s", ep.url, status.Error)); err != nil {
+				return err
+			}
+		case serve.StateCancelled:
+			if err := c.demote(i, fmt.Sprintf("job cancelled on %s", ep.url)); err != nil {
+				return err
+			}
+		default:
+			// queued / running / interrupted: keep waiting. An
+			// interrupted job resumes when its daemon restarts; if the
+			// daemon instead stays down, the poll soon fails with a
+			// transport error and the shard is resubmitted elsewhere.
+		}
+	}
+	return nil
+}
+
+// spoolShard downloads one finished shard's JSONL rows to its local
+// spool file, verifying the row count matches the shard — a daemon
+// claiming done with the wrong number of rows would silently corrupt
+// the merge, and is fatal. Transport failures mark the endpoint dead
+// and demote the shard for resubmission. On success the shard is ready
+// to merge whenever its in-order turn comes, independent of the
+// daemon's fate.
+func (c *coord) spoolShard(ctx context.Context, i int) error {
+	st := c.shards[i]
+	ep := c.eps[st.endpoint]
+	rc, err := ep.client.Results(ctx, st.jobID)
+	if err == nil {
+		var f *os.File
+		if f, err = os.Create(st.spool); err != nil {
+			rc.Close()
+			return fmt.Errorf("fanout: %w", err)
+		}
+		lc := &lineCounter{w: f}
+		_, err = io.Copy(lc, rc)
+		rc.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			if lc.lines != len(st.entries) {
+				return fmt.Errorf("fanout: job %s returned %d rows for a %d-gene shard", st.jobID, lc.lines, len(st.entries))
+			}
+			st.phase = shardJobDone
+			return nil
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	os.Remove(st.spool)
+	if !isAPIError(err) {
+		c.markDead(st.endpoint, err)
+	}
+	return c.demote(i, fmt.Sprintf("results of job %s unavailable: %v", st.jobID, err))
+}
+
+// appendReady merges completed shards into the output, strictly in
+// shard order: shard k is appended only once shards 0..k-1 are. Shard
+// bytes are flushed and fsynced before the ledger's done record, and a
+// mid-merge failure truncates the output back to the last durable
+// offset — the merge can always be retried.
+func (c *coord) appendReady(ctx context.Context) error {
+	for c.next < len(c.shards) {
+		st := c.shards[c.next]
+		if len(st.entries) == 0 {
+			// An empty shard (more shards than rows) contributes no
+			// bytes but still gets its done record, so resume sees the
+			// prefix intact.
+			if err := c.ledger.AppendDone(checkpoint.ShardDone{Shard: c.next, Offset: c.offset}); err != nil {
+				return err
+			}
+			if c.cfg.OnAppended != nil {
+				c.cfg.OnAppended(c.next, c.offset)
+			}
+			c.next++
+			continue
+		}
+		if st.phase != shardJobDone {
+			return nil
+		}
+		if _, err := os.Stat(st.spool); err != nil {
+			// An adopted finished job reaches jobDone without a spool;
+			// download it now. Failure demotes the shard (and returns
+			// it to the submit loop) rather than stalling the merge.
+			if err := c.spoolShard(ctx, c.next); err != nil {
+				return err
+			}
+			if st.phase != shardJobDone {
+				return nil
+			}
+		}
+		f, err := os.Open(st.spool)
+		if err != nil {
+			return fmt.Errorf("fanout: %w", err)
+		}
+		n, err := io.Copy(c.out, f)
+		f.Close()
+		if err == nil {
+			err = c.out.Sync()
+		}
+		if err != nil {
+			if terr := c.truncateBack(); terr != nil {
+				return terr
+			}
+			return fmt.Errorf("fanout: merging %s: %w", st.spool, err)
+		}
+		c.offset += n
+		if err := c.ledger.AppendDone(checkpoint.ShardDone{Shard: c.next, Offset: c.offset}); err != nil {
+			return err
+		}
+		c.logf("fanout: shard %d/%d merged (%d genes, output now %d bytes)",
+			c.next+1, len(c.shards), len(st.entries), c.offset)
+		if c.cfg.OnAppended != nil {
+			c.cfg.OnAppended(c.next, c.offset)
+		}
+		os.Remove(st.spool)
+		if c.cfg.Purge {
+			ep := c.eps[st.endpoint]
+			if err := ep.client.Purge(ctx, st.jobID); err != nil && ctx.Err() == nil {
+				c.logf("fanout: purge of job %s on %s failed: %v (retention will catch it)", st.jobID, ep.url, err)
+			}
+		}
+		c.next++
+	}
+	return nil
+}
+
+// truncateBack rolls the output file back to the last ledgered offset
+// after a partial shard copy.
+func (c *coord) truncateBack() error {
+	if err := c.out.Truncate(c.offset); err != nil {
+		return fmt.Errorf("fanout: %s: %w", c.cfg.OutPath, err)
+	}
+	if _, err := c.out.Seek(c.offset, io.SeekStart); err != nil {
+		return fmt.Errorf("fanout: %s: %w", c.cfg.OutPath, err)
+	}
+	return nil
+}
+
+// lineCounter counts newlines flowing through to the output — one per
+// JSONL result row.
+type lineCounter struct {
+	w     io.Writer
+	lines int
+}
+
+func (l *lineCounter) Write(p []byte) (int, error) {
+	n, err := l.w.Write(p)
+	for _, b := range p[:n] {
+		if b == '\n' {
+			l.lines++
+		}
+	}
+	return n, err
+}
+
+// isAPIError reports whether err is a server-reported API error (the
+// daemon is alive and answering) as opposed to a transport failure.
+func isAPIError(err error) bool {
+	var ae *serve.APIError
+	return errors.As(err, &ae)
+}

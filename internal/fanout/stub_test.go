@@ -1,0 +1,288 @@
+package fanout_test
+
+// Stub-daemon tests: a minimal in-memory implementation of the serve
+// HTTP API with scripted job states, so the coordinator's ordering and
+// retry logic can be driven deterministically — shard completion order,
+// 503 overflow routing, dead-endpoint exclusion — without fitting a
+// single gene.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fanout"
+	"repro/internal/manifest"
+	"repro/internal/serve"
+)
+
+// stubJob is one accepted job: the gene names of its shard.
+type stubJob struct {
+	id    string
+	genes []string
+}
+
+// stubDaemon speaks just enough of the serve wire protocol for the
+// coordinator. ready decides when a job reports done; reject503 makes
+// every submission answer 503 (a perpetually full queue).
+type stubDaemon struct {
+	mu        sync.Mutex
+	nextID    int
+	jobs      map[string]*stubJob
+	submits   int
+	fetched   []string // job ids whose results were downloaded, in order
+	ready     func(d *stubDaemon, id string) bool
+	reject503 bool
+}
+
+func newStubDaemon() *stubDaemon {
+	return &stubDaemon{
+		jobs:  make(map[string]*stubJob),
+		ready: func(*stubDaemon, string) bool { return true },
+	}
+}
+
+func (d *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.submits++
+		if d.reject503 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		var spec serve.JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		entries, err := manifest.Parse(strings.NewReader(spec.Manifest), "")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		d.nextID++
+		job := &stubJob{id: fmt.Sprintf("s%03d", d.nextID)}
+		for _, e := range entries {
+			job.genes = append(job.genes, e.Name)
+		}
+		d.jobs[job.id] = job
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(serve.Status{ID: job.id, State: serve.StateQueued, Total: len(job.genes)})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		job, ok := d.jobs[r.PathValue("id")]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "no job"})
+			return
+		}
+		state := serve.StateRunning
+		if d.ready(d, job.id) {
+			state = serve.StateDone
+		}
+		json.NewEncoder(w).Encode(serve.Status{ID: job.id, State: state, Total: len(job.genes), Done: len(job.genes)})
+	})
+	mux.HandleFunc("GET /jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		job, ok := d.jobs[r.PathValue("id")]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		d.fetched = append(d.fetched, job.id)
+		var buf bytes.Buffer
+		for _, g := range job.genes {
+			fmt.Fprintf(&buf, "{\"name\":%q}\n", g)
+		}
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		delete(d.jobs, r.PathValue("id"))
+		json.NewEncoder(w).Encode(map[string]string{"purged": r.PathValue("id")})
+	})
+	return mux
+}
+
+// stubEntries fabricates manifest rows pointing at real (empty) files
+// so the coordinator's absolute-path resolution works.
+func stubEntries(t *testing.T, n int) []manifest.Entry {
+	t.Helper()
+	dir := t.TempDir()
+	entries := make([]manifest.Entry, n)
+	for i := range entries {
+		name := fmt.Sprintf("g%02d", i)
+		a := filepath.Join(dir, name+".fasta")
+		tr := filepath.Join(dir, name+".nwk")
+		for _, p := range []string{a, tr} {
+			if err := os.WriteFile(p, []byte("x\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		entries[i] = manifest.Entry{Name: name, AlignPath: a, TreePath: tr}
+	}
+	return entries
+}
+
+// mergedNames parses the merged output back into its gene-name rows.
+func mergedNames(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var row struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("bad merged row %q: %v", line, err)
+		}
+		names = append(names, row.Name)
+	}
+	return names
+}
+
+// Shard 2 finishes long before shard 0, but the merged output must
+// still be in shard order — and shard 2's results must not be fetched
+// until shards 0 and 1 are already merged.
+func TestFanoutOutOfOrderCompletion(t *testing.T) {
+	entries := stubEntries(t, 9)
+
+	// Three stubs, one per shard. Shard 0's job completes only after
+	// shard 2's job has reported done at least once, forcing the
+	// fast-shard-finishes-first schedule deterministically.
+	var mu sync.Mutex
+	shard2Done := false
+	stubs := make([]*stubDaemon, 3)
+	for i := range stubs {
+		stubs[i] = newStubDaemon()
+	}
+	stubs[0].ready = func(*stubDaemon, string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return shard2Done
+	}
+	stubs[2].ready = func(*stubDaemon, string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		shard2Done = true
+		return true
+	}
+
+	var eps []string
+	for _, s := range stubs {
+		ts := httptest.NewServer(s.handler())
+		defer ts.Close()
+		eps = append(eps, ts.URL)
+	}
+	outPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	if _, err := fanout.Run(context.Background(), fanout.Config{
+		Entries:   entries,
+		Endpoints: eps,
+		OutPath:   outPath,
+		Spec:      serve.JobSpec{MaxIter: 1, Seed: 1},
+		Poll:      5 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Merged rows are the manifest's rows, in manifest order, despite
+	// completion order 2 → 1 → 0.
+	names := mergedNames(t, outPath)
+	if len(names) != len(entries) {
+		t.Fatalf("merged %d rows, want %d", len(names), len(entries))
+	}
+	for i, e := range entries {
+		if names[i] != e.Name {
+			t.Fatalf("merged row %d is %s, want %s (shard-order merge broken)", i, names[i], e.Name)
+		}
+	}
+	// Every shard's results were fetched exactly once: a done shard is
+	// spooled locally the moment it completes and never refetched when
+	// its turn in the merge order comes.
+	for i, s := range stubs {
+		s.mu.Lock()
+		fetched := len(s.fetched)
+		s.mu.Unlock()
+		if fetched != 1 {
+			t.Fatalf("shard %d's results fetched %d times, want exactly 1", i, fetched)
+		}
+	}
+}
+
+// A daemon that always answers 503 and a daemon that refuses
+// connections must both be routed around: every shard lands on the one
+// working daemon and the merge still completes in shard order.
+func TestFanoutRoutesAround503AndConnRefused(t *testing.T) {
+	entries := stubEntries(t, 6)
+
+	full := newStubDaemon()
+	full.reject503 = true
+	tsFull := httptest.NewServer(full.handler())
+	defer tsFull.Close()
+
+	// A connection-refused endpoint: grab a free port and close it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + l.Addr().String()
+	l.Close()
+
+	ok := newStubDaemon()
+	tsOK := httptest.NewServer(ok.handler())
+	defer tsOK.Close()
+
+	outPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	sum, err := fanout.Run(context.Background(), fanout.Config{
+		Entries:   entries,
+		Endpoints: []string{tsFull.URL, deadURL, tsOK.URL},
+		OutPath:   outPath,
+		Spec:      serve.JobSpec{MaxIter: 1, Seed: 1},
+		Poll:      5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Shards != 3 {
+		t.Fatalf("got %d shards, want 3", sum.Shards)
+	}
+	// All three shards executed on the one working daemon.
+	ok.mu.Lock()
+	executed := len(ok.jobs)
+	ok.mu.Unlock()
+	if executed != 3 {
+		t.Fatalf("working daemon ran %d jobs, want 3", executed)
+	}
+	full.mu.Lock()
+	attempts := full.submits
+	full.mu.Unlock()
+	if attempts == 0 {
+		t.Fatal("the 503 daemon was never even tried")
+	}
+	names := mergedNames(t, outPath)
+	for i, e := range entries {
+		if names[i] != e.Name {
+			t.Fatalf("merged row %d is %s, want %s", i, names[i], e.Name)
+		}
+	}
+}

@@ -7,20 +7,23 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 )
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /jobs              submit a JobSpec, returns the job status (202)
-//	GET    /jobs              list all jobs
-//	GET    /jobs/{id}         one job's status with per-gene progress
-//	GET    /jobs/{id}/results stream the job's results as JSON Lines
-//	DELETE /jobs/{id}         cancel the job
-//	GET    /healthz           liveness plus queue occupancy
+//	POST   /jobs                  submit a JobSpec, returns the job status (202)
+//	GET    /jobs                  list all jobs
+//	GET    /jobs/{id}             one job's status with per-gene progress
+//	GET    /jobs/{id}/results     stream the job's results as JSON Lines
+//	DELETE /jobs/{id}             cancel the job
+//	DELETE /jobs/{id}?purge=1     purge a finished job and its data files
+//	GET    /healthz               liveness plus queue occupancy (Health)
 //
 // Errors are JSON objects {"error": "..."} with conventional status
-// codes (400 bad spec, 404 unknown job, 409 cancel of a finished job,
-// 503 full queue or shutdown).
+// codes (400 bad spec, 404 unknown job, 409 cancel of a finished job
+// or purge of an active one, 503 full queue or shutdown). The Client
+// type in this package speaks this API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -105,11 +108,40 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
 		return
 	}
+	if q := r.URL.Query().Get("purge"); q != "" {
+		purge, err := strconv.ParseBool(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad purge value %q", q))
+			return
+		}
+		if purge {
+			switch err := s.Purge(id); {
+			case err == nil:
+				writeJSON(w, http.StatusOK, map[string]string{"purged": id})
+			case errors.Is(err, ErrJobActive):
+				writeError(w, http.StatusConflict, err)
+			case errors.Is(err, ErrUnknownJob):
+				// A concurrent purge (retention sweep, another DELETE)
+				// got there first: gone is gone, not a server error.
+				writeError(w, http.StatusNotFound, err)
+			default:
+				writeError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		// purge=0/false is an explicit plain cancel: fall through.
+	}
 	if err := s.Cancel(id); err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
 	}
-	job, _ := s.Job(id)
+	// Re-look the job up: a concurrent ?purge=1 may have removed it
+	// between the cancel and here.
+	job, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusOK, map[string]string{"cancelled": id})
+		return
+	}
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
@@ -118,11 +150,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	jobs := len(s.jobs)
 	closed := s.closed
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       map[bool]string{false: "ok", true: "shutting-down"}[closed],
-		"jobs":         jobs,
-		"queue_len":    len(s.queue),
-		"queue_cap":    cap(s.queue),
-		"pool_workers": s.pool.NumWorkers(),
+	writeJSON(w, http.StatusOK, Health{
+		Status:      map[bool]string{false: "ok", true: "shutting-down"}[closed],
+		Jobs:        jobs,
+		QueueLen:    len(s.queue),
+		QueueCap:    cap(s.queue),
+		PoolWorkers: s.pool.NumWorkers(),
 	})
 }

@@ -72,6 +72,12 @@ type Config struct {
 	// Format selects the alignment format for every job
 	// (default: sniff per file).
 	Format align.Format
+	// Retain, when positive, bounds the data directory: finished jobs
+	// (done, failed or cancelled — never interrupted, which resume on
+	// restart) are purged, files and all, once their finish time is
+	// older than this window. Zero keeps jobs forever; DELETE with
+	// ?purge=1 still removes them on demand.
+	Retain time.Duration
 }
 
 func (c *Config) fill() {
@@ -91,6 +97,24 @@ var (
 	ErrQueueFull    = errors.New("serve: job queue is full")
 	ErrShuttingDown = errors.New("serve: server is shutting down")
 )
+
+// ErrJobActive is Purge refusing a queued or running job; cancel it
+// first. The HTTP layer maps it to 409.
+var ErrJobActive = errors.New("serve: job is still active; cancel it first")
+
+// ErrUnknownJob marks operations on a job id the server does not hold
+// (never submitted, or already purged). The HTTP layer maps it to 404.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// Health is the /healthz wire representation: liveness plus queue
+// occupancy.
+type Health struct {
+	Status      string `json:"status"` // "ok" or "shutting-down"
+	Jobs        int    `json:"jobs"`
+	QueueLen    int    `json:"queue_len"`
+	QueueCap    int    `json:"queue_cap"`
+	PoolWorkers int    `json:"pool_workers"`
+}
 
 // JobSpec is a submitted analysis: a manifest plus the
 // result-affecting options. Exactly one of ManifestPath and Manifest
@@ -131,6 +155,7 @@ type Job struct {
 	id      string
 	spec    JobSpec
 	entries []manifest.Entry
+	digest  string // manifest.Digest(entries); immutable after creation
 	opts    core.StreamOptions
 
 	outPath, ledgerPath, countsPath, specPath string
@@ -159,6 +184,11 @@ type Status struct {
 	Done   int    `json:"done"`
 	Failed int    `json:"failed"`
 	Error  string `json:"error,omitempty"`
+	// ManifestDigest fingerprints the job's manifest rows
+	// (manifest.Digest) — the identity a fan-out coordinator checks
+	// before adopting a recorded job id, since ids can be reissued
+	// after a purge + daemon restart.
+	ManifestDigest string `json:"manifest_digest,omitempty"`
 
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
@@ -178,8 +208,9 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID: j.id, State: j.state,
 		Total: j.total, Done: j.done, Failed: j.failed,
-		Error:     j.errMsg,
-		Submitted: j.submitted,
+		Error:          j.errMsg,
+		ManifestDigest: j.digest,
+		Submitted:      j.submitted,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -249,7 +280,95 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.runner()
 	}
+	if cfg.Retain > 0 {
+		s.wg.Add(1)
+		go s.sweeper()
+	}
 	return s, nil
+}
+
+// Purge removes a finished job entirely: its results, ledger, counts
+// and spec files are deleted from the data directory and the job
+// disappears from the listing — how callers (a fan-out coordinator
+// collecting shards, or the -retain sweep) bound the data directory,
+// which otherwise grows one results+ledger(+counts) triple per job
+// forever. Queued and running jobs are refused with ErrJobActive;
+// cancel them first.
+func (s *Server) Purge(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	switch job.state {
+	case StateQueued, StateRunning:
+		return ErrJobActive
+	}
+	// Files first: a removal failure leaves the job listed so the purge
+	// can be retried.
+	for _, p := range []string{job.outPath, job.ledgerPath, job.countsPath, job.specPath} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("serve: purge %s: %w", id, err)
+		}
+	}
+	delete(s.jobs, id)
+	for i, jid := range s.order {
+		if jid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// sweeper purges expired finished jobs every quarter of the retention
+// window (clamped to [50 ms, 1 min]) until shutdown.
+func (s *Server) sweeper() {
+	defer s.wg.Done()
+	interval := s.cfg.Retain / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.sweepExpired()
+		}
+	}
+}
+
+// sweepExpired purges every done, failed or cancelled job whose finish
+// time has aged past the retention window. Interrupted jobs are left
+// alone: they resume on the next start and purging them would discard
+// resumable work.
+func (s *Server) sweepExpired() {
+	cutoff := time.Now().Add(-s.cfg.Retain)
+	s.mu.Lock()
+	var expired []string
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateDone, StateFailed, StateCancelled:
+			if !j.finished.IsZero() && j.finished.Before(cutoff) {
+				expired = append(expired, id)
+			}
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, id := range expired {
+		s.Purge(id) // best effort; a failed removal is retried next sweep
+	}
 }
 
 // Jobs returns every job's status in submission order.
@@ -484,8 +603,12 @@ func (s *Server) runJob(job *Job) {
 // is in recovery before runners start).
 func (s *Server) newJob(id string, spec JobSpec, entries []manifest.Entry, opts core.StreamOptions) *Job {
 	base := filepath.Join(s.cfg.DataDir, id)
+	digest := ""
+	if len(entries) > 0 {
+		digest = manifest.Digest(entries)
+	}
 	return &Job{
-		id: id, spec: spec, entries: entries, opts: opts,
+		id: id, spec: spec, entries: entries, digest: digest, opts: opts,
 		outPath:    base + ".jsonl",
 		ledgerPath: checkpoint.LedgerPath(base + ".jsonl"),
 		countsPath: base + ".counts",
@@ -614,6 +737,11 @@ func (s *Server) recoverJob(id string) (*Job, bool, error) {
 	}
 	job := s.newJob(id, spec, entries, opts)
 	job.submitted = time.Now()
+	if info, err := os.Stat(job.specPath); err == nil {
+		// The spec file's mtime is when the job was really submitted —
+		// stamping time.Now() would reset history on every restart.
+		job.submitted = info.ModTime()
+	}
 	if _, err := os.Stat(job.ledgerPath); err != nil {
 		return job, true, nil // never started: run fresh
 	}
@@ -630,6 +758,12 @@ func (s *Server) recoverJob(id string) (*Job, bool, error) {
 	if plan.Skip == len(entries) {
 		job.state = StateDone
 		job.finished = time.Now()
+		if info, err := os.Stat(job.ledgerPath); err == nil {
+			// Likewise, the ledger's last write is when the job actually
+			// finished: keeps -retain aging across daemon restarts
+			// instead of resetting the clock every start.
+			job.finished = info.ModTime()
+		}
 		return job, false, nil
 	}
 	return job, true, nil

@@ -1,0 +1,57 @@
+package main
+
+// TestDocLinks keeps the documentation's cross-references honest: every
+// relative markdown link in README.md and docs/*.md must point at a
+// file (or directory) that exists in the repository, so a renamed file
+// or a typoed path fails CI instead of rotting silently.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are not used in this repository.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md found — the architecture and operations docs are required")
+	}
+
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; availability is not ours to test
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // pure fragment: same-file anchor
+			}
+			// Relative links resolve against the linking file.
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found at all — is the link regexp broken?")
+	}
+}
