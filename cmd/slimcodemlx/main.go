@@ -1,9 +1,10 @@
 // Command slimcodemlx fans one manifest out across several slimcodemld
 // daemons — the fifth execution tier. The manifest is sliced into
 // deterministic contiguous shards (the same split as slimcodeml
-// -shard i/n), one job per shard is submitted to the daemon fleet over
-// HTTP, and the per-shard JSONL results are concatenated, in shard
-// order, into a single output file byte-identical to a standalone
+// -shard i/n, default four shards per endpoint), the shards form a
+// coordinator-side queue that daemons pull jobs from as they finish,
+// and the per-shard JSONL results are concatenated, in shard order,
+// into a single output file byte-identical to a standalone
 // `slimcodeml -manifest -resume` run of the whole manifest.
 //
 // Usage:
@@ -16,14 +17,19 @@
 // in a fsynced ledger beside -out (<out>.fanout), so a killed
 // coordinator rerun with the identical command skips already-merged
 // shards and re-attaches to jobs still running on their daemons. A
-// daemon that stops answering is excluded and its shards are
-// resubmitted to the rest of the fleet. Every daemon must see the
-// manifest's alignment and tree files at the same (absolute) paths —
-// run the fleet over a shared filesystem.
+// daemon that stops answering is excluded and its shards flow to the
+// rest of the fleet, but exclusion is not forever: dead endpoints are
+// health-probed on an exponential backoff (-reprobe up to
+// -reprobe-max) and re-admitted when they answer again. Every daemon
+// must see the manifest's alignment and tree files at the same
+// (absolute) paths — run the fleet over a shared filesystem.
 //
-// -purge deletes each shard's job from its daemon once the shard is
-// safely merged, so a completed fan-out leaves the fleet's data
-// directories empty (see also slimcodemld -retain).
+// -sharefreq pools codon frequencies over the WHOLE manifest in a
+// coordinator pre-pass and pins every shard's job to the pooled
+// vector, so the merged output matches a standalone -sharefreq run
+// byte for byte. -purge deletes each shard's job from its daemon once
+// the shard is safely merged, so a completed fan-out leaves the
+// fleet's data directories empty (see also slimcodemld -retain).
 package main
 
 import (
@@ -44,22 +50,27 @@ import (
 
 func main() {
 	var (
-		maniPath  = flag.String("manifest", "", "manifest file with one 'name alignment-path tree-path' row per gene")
-		dirPath   = flag.String("dir", "", "directory pairing NAME.{fasta,fa,fna,phy,phylip} with NAME.{nwk,tree,newick} (alternative to -manifest)")
-		endpoints = flag.String("endpoints", "", "comma-separated slimcodemld base URLs (host:port or http://host:port)")
-		shards    = flag.Int("shards", 0, "contiguous row ranges to split the manifest into (0 = one per endpoint)")
-		outPath   = flag.String("out", "", "merged JSONL results file; the fan-out ledger lives beside it (<out>.fanout)")
-		poll      = flag.Duration("poll", 500*time.Millisecond, "job status poll interval")
-		resubmits = flag.Int("resubmits", 3, "max resubmissions per shard after daemon failures")
-		purge     = flag.Bool("purge", false, "delete each shard's job from its daemon once the shard is merged")
-		engine    = flag.String("engine", "slim", "engine: baseline, slim, slim-sym or slim-bundled")
-		freq      = flag.String("freq", "f61", "codon frequencies: f61, f3x4 or uniform")
-		maxIter   = flag.Int("maxiter", 500, "maximum BFGS iterations per hypothesis")
-		seed      = flag.Int64("seed", 1, "seed for the starting parameter values")
-		m0start   = flag.Bool("m0start", false, "initialize branch lengths from an M0 pre-fit")
-		jobs      = flag.Int("jobs", 0, "genes fitted concurrently within each daemon job (0 = daemon's GOMAXPROCS)")
-		prefetch  = flag.Int("prefetch", 0, "genes resident at once within each daemon job (0 = 2×jobs)")
-		quiet     = flag.Bool("quiet", false, "suppress per-shard progress lines")
+		maniPath   = flag.String("manifest", "", "manifest file with one 'name alignment-path tree-path' row per gene")
+		dirPath    = flag.String("dir", "", "directory pairing NAME.{fasta,fa,fna,phy,phylip} with NAME.{nwk,tree,newick} (alternative to -manifest)")
+		endpoints  = flag.String("endpoints", "", "comma-separated slimcodemld base URLs (host:port or http://host:port)")
+		shards     = flag.Int("shards", 0, "contiguous row ranges to split the manifest into (0 = four per endpoint)")
+		outPath    = flag.String("out", "", "merged JSONL results file; the fan-out ledger lives beside it (<out>.fanout)")
+		poll       = flag.Duration("poll", 500*time.Millisecond, "job status poll interval")
+		inflight   = flag.Int("inflight", 1, "jobs submitted to one endpoint at a time; further shards queue")
+		reprobe    = flag.Duration("reprobe", time.Second, "initial backoff before a dead endpoint is health-probed for re-admission (negative disables re-probing)")
+		reprobeMax = flag.Duration("reprobe-max", 30*time.Second, "re-probe backoff ceiling")
+		resubmits  = flag.Int("resubmits", 3, "max resubmissions per shard after daemon failures (0 = fail on the first lost shard)")
+		purge      = flag.Bool("purge", false, "delete each shard's job from its daemon once the shard is merged")
+		engine     = flag.String("engine", "slim", "engine: baseline, slim, slim-sym or slim-bundled")
+		freq       = flag.String("freq", "f61", "codon frequencies: f61, f3x4 or uniform")
+		maxIter    = flag.Int("maxiter", 500, "maximum BFGS iterations per hypothesis")
+		seed       = flag.Int64("seed", 1, "seed for the starting parameter values")
+		m0start    = flag.Bool("m0start", false, "initialize branch lengths from an M0 pre-fit")
+		shareFreq  = flag.Bool("sharefreq", false, "pool codon frequencies over the whole manifest in a coordinator pre-pass and pin every shard's job to them")
+		countCache = flag.String("countcache", "", "codon-count cache file the -sharefreq pre-pass consults and updates")
+		jobs       = flag.Int("jobs", 0, "genes fitted concurrently within each daemon job (0 = daemon's GOMAXPROCS)")
+		prefetch   = flag.Int("prefetch", 0, "genes resident at once within each daemon job (0 = 2×jobs)")
+		quiet      = flag.Bool("quiet", false, "suppress per-shard progress lines")
 	)
 	flag.Parse()
 	if (*maniPath == "") == (*dirPath == "") || *endpoints == "" || *outPath == "" {
@@ -99,18 +110,23 @@ func main() {
 		Entries:      entries,
 		Endpoints:    eps,
 		Shards:       *shards,
+		InFlight:     *inflight,
+		Reprobe:      *reprobe,
+		ReprobeMax:   *reprobeMax,
 		OutPath:      *outPath,
 		Poll:         *poll,
 		MaxResubmits: *resubmits,
 		Purge:        *purge,
+		CountCache:   *countCache,
 		Spec: serve.JobSpec{
-			Engine:      *engine,
-			Freq:        *freq,
-			MaxIter:     *maxIter,
-			Seed:        *seed,
-			M0Start:     *m0start,
-			Concurrency: *jobs,
-			Prefetch:    *prefetch,
+			Engine:           *engine,
+			Freq:             *freq,
+			MaxIter:          *maxIter,
+			Seed:             *seed,
+			M0Start:          *m0start,
+			ShareFrequencies: *shareFreq,
+			Concurrency:      *jobs,
+			Prefetch:         *prefetch,
 		},
 		Logf: logf,
 	})
@@ -121,6 +137,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("fan-out: %d genes in %d shards (%d resumed, %d adopted, %d resubmitted), %.2f s → %s\n",
-		sum.Genes, sum.Shards, sum.Skipped, sum.Adopted, sum.Resubmits, sum.Runtime.Seconds(), *outPath)
+	fmt.Printf("fan-out: %d genes in %d shards (%d resumed, %d adopted, %d resubmitted, %d re-admitted), %.2f s → %s\n",
+		sum.Genes, sum.Shards, sum.Skipped, sum.Adopted, sum.Resubmits, sum.Readmissions, sum.Runtime.Seconds(), *outPath)
 }

@@ -215,11 +215,7 @@ func (l *Ledger) Append(r Record) error {
 // AppendFrequencies durably records the shared-frequency vector as
 // IEEE-754 bit patterns, so a resumed run replays the identical π.
 func (l *Ledger) AppendFrequencies(pi []float64) error {
-	bits := make([]string, len(pi))
-	for i, v := range pi {
-		bits[i] = strconv.FormatUint(math.Float64bits(v), 16)
-	}
-	if err := l.append(ledgerLine{Pi: bits}); err != nil {
+	if err := l.append(ledgerLine{Pi: encodeBits(pi)}); err != nil {
 		return err
 	}
 	l.pi = append([]float64(nil), pi...)
@@ -251,6 +247,17 @@ func appendJSONLine(f *os.File, path string, v any) error {
 
 // Close closes the ledger file.
 func (l *Ledger) Close() error { return l.f.Close() }
+
+// encodeBits renders a frequency vector as hex IEEE-754 bit patterns —
+// the lossless on-disk form both the gene ledger and the fan-out shard
+// ledger record π in.
+func encodeBits(pi []float64) []string {
+	bits := make([]string, len(pi))
+	for i, v := range pi {
+		bits[i] = strconv.FormatUint(math.Float64bits(v), 16)
+	}
+	return bits
+}
 
 // decodeBits parses hex-encoded IEEE-754 bit patterns.
 func decodeBits(bits []string) ([]float64, error) {

@@ -1,0 +1,90 @@
+package checkpoint_test
+
+// The shard ledger's π record and the frequency component of the
+// options fingerprint — the two pieces that make -sharefreq resumable
+// and refusal-safe at the fan-out tier.
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/manifest"
+)
+
+// A recorded shared-frequency vector round-trips bit-exactly through
+// the shard ledger, and the resume plan replays it.
+func TestShardLedgerFrequenciesRoundTrip(t *testing.T) {
+	entries := shardEntries(3)
+	path := filepath.Join(t.TempDir(), "out.jsonl.fanout")
+	h := checkpoint.ShardHeader{
+		ManifestDigest: manifest.Digest(entries),
+		Genes:          len(entries),
+		Shards:         2,
+		Options:        "opts",
+	}
+	l, err := checkpoint.CreateShardLedger(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values chosen to catch any decimal round-tripping: a subnormal,
+	// an irrational-ish mantissa, and a value one ulp off a round one.
+	pi := []float64{0.1, 1.0 / 3.0, math.Nextafter(0.25, 1), 5e-324}
+	if err := l.AppendFrequencies(pi); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := checkpoint.OpenShardLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Frequencies()
+	if len(got) != len(pi) {
+		t.Fatalf("reloaded %d weights, want %d", len(got), len(pi))
+	}
+	for i := range pi {
+		if math.Float64bits(got[i]) != math.Float64bits(pi[i]) {
+			t.Fatalf("weight %d: %x != %x (not bit-identical)", i, math.Float64bits(got[i]), math.Float64bits(pi[i]))
+		}
+	}
+	plan, err := l2.PlanShards(entries, 2, "opts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if math.Float64bits(plan.Frequencies[i]) != math.Float64bits(pi[i]) {
+			t.Fatalf("plan weight %d: %x != %x", i, math.Float64bits(plan.Frequencies[i]), math.Float64bits(pi[i]))
+		}
+	}
+}
+
+// The fingerprint grows a pi component exactly when a vector is
+// preset, so old ledgers keep validating and a resume under a
+// different pinned vector is refused.
+func TestOptionsFingerprintFrequencies(t *testing.T) {
+	opts := core.BatchOptions{Options: core.Options{MaxIterations: 7, Seed: 3}}
+	plain := checkpoint.OptionsFingerprint(opts, align.FormatAuto)
+	if strings.Contains(plain, " pi=") {
+		t.Fatalf("fingerprint %q carries a pi component without a preset vector", plain)
+	}
+
+	opts.Frequencies = []float64{0.5, 0.5}
+	fpA := checkpoint.OptionsFingerprint(opts, align.FormatAuto)
+	if !strings.HasPrefix(fpA, plain) || !strings.Contains(fpA, " pi=") {
+		t.Fatalf("fingerprint %q should extend %q with a pi component", fpA, plain)
+	}
+
+	// A different vector — even by one ulp — fingerprints differently.
+	opts.Frequencies = []float64{0.5, math.Nextafter(0.5, 1)}
+	if fpB := checkpoint.OptionsFingerprint(opts, align.FormatAuto); fpB == fpA {
+		t.Fatalf("one-ulp vector change kept fingerprint %q", fpB)
+	}
+}

@@ -3,9 +3,13 @@ package checkpoint
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/align"
@@ -68,8 +72,31 @@ func OptionsFingerprint(opts core.BatchOptions, format align.Format) string {
 	if opts.Code != nil {
 		code = opts.Code.Name()
 	}
-	return fmt.Sprintf("engine=%d freq=%d maxiter=%d seed=%d m0start=%t sharefreq=%t code=%s format=%s",
+	fp := fmt.Sprintf("engine=%d freq=%d maxiter=%d seed=%d m0start=%t sharefreq=%t code=%s format=%s",
 		opts.Engine, opts.Freq, opts.MaxIterations, opts.Seed, opts.M0Start, opts.ShareFrequencies, code, format)
+	// A preset frequency vector (a fan-out shard pinned to the
+	// coordinator's pooled π) is result-affecting: digest it so a resume
+	// under a different vector is refused. The component is appended
+	// only when a vector is preset, keeping every existing ledger's
+	// fingerprint unchanged. ShareFrequencies runs that derive π
+	// themselves fingerprint before the derivation (see Run), so their
+	// component never appears either.
+	if opts.Frequencies != nil {
+		fp += " pi=" + FrequenciesDigest(opts.Frequencies)
+	}
+	return fp
+}
+
+// FrequenciesDigest fingerprints a frequency vector by its exact
+// IEEE-754 bit patterns — equal digests mean bit-identical vectors.
+func FrequenciesDigest(pi []float64) string {
+	h := sha256.New()
+	var b [8]byte
+	for _, v := range pi {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 // skipper is the fast path Resume uses when the wrapped source can

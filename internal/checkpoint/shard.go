@@ -60,9 +60,13 @@ type ShardDone struct {
 	Offset int64 `json:"offset"`
 }
 
-// shardLine is the on-disk envelope: exactly one field is set.
+// shardLine is the on-disk envelope: exactly one field is set. Pi is
+// the coordinator's shared-frequency vector (a -sharefreq fan-out),
+// stored as hex IEEE-754 bit patterns like the gene ledger's so a
+// resumed coordinator replays the identical π instead of re-pooling.
 type shardLine struct {
 	Header *ShardHeader `json:"header,omitempty"`
+	Pi     []string     `json:"pi,omitempty"`
 	Submit *ShardSubmit `json:"submit,omitempty"`
 	Done   *ShardDone   `json:"done,omitempty"`
 }
@@ -73,6 +77,7 @@ type ShardLedger struct {
 	path    string
 	f       *os.File
 	header  ShardHeader
+	pi      []float64
 	submits []ShardSubmit
 	dones   []ShardDone
 }
@@ -142,6 +147,12 @@ func (l *ShardLedger) load() error {
 			}
 			l.header = *ln.Header
 			sawHeader = true
+		case ln.Pi != nil:
+			pi, err := decodeBits(ln.Pi)
+			if err != nil {
+				return fmt.Errorf("checkpoint: %s: %w", l.path, err)
+			}
+			l.pi = pi
 		case ln.Submit != nil:
 			l.submits = append(l.submits, *ln.Submit)
 		case ln.Done != nil:
@@ -164,6 +175,21 @@ func (l *ShardLedger) load() error {
 
 // Header returns the ledger's header.
 func (l *ShardLedger) Header() ShardHeader { return l.header }
+
+// Frequencies returns the recorded shared-π vector, or nil when none
+// was recorded.
+func (l *ShardLedger) Frequencies() []float64 { return l.pi }
+
+// AppendFrequencies durably records the coordinator's shared-frequency
+// vector as IEEE-754 bit patterns, so a resumed fan-out replays the
+// identical π instead of re-pooling the manifest.
+func (l *ShardLedger) AppendFrequencies(pi []float64) error {
+	if err := appendJSONLine(l.f, l.path, shardLine{Pi: encodeBits(pi)}); err != nil {
+		return err
+	}
+	l.pi = append([]float64(nil), pi...)
+	return nil
+}
 
 // AppendSubmit durably records one shard's job submission.
 func (l *ShardLedger) AppendSubmit(sub ShardSubmit) error {
@@ -190,13 +216,15 @@ func (l *ShardLedger) Close() error { return l.f.Close() }
 
 // ShardPlan is a validated fan-out resume point: shards 0..Done-1 are
 // already appended to the merged output (truncate it to Offset and
-// continue with shard Done), and Assignments holds the latest recorded
+// continue with shard Done), Assignments holds the latest recorded
 // daemon job per not-yet-appended shard, so the coordinator can adopt
-// an in-flight job instead of resubmitting it.
+// an in-flight job instead of resubmitting it, and Frequencies — for a
+// -sharefreq fan-out — is the recorded shared-π vector to replay.
 type ShardPlan struct {
 	Done        int
 	Offset      int64
 	Assignments map[int]ShardSubmit
+	Frequencies []float64
 }
 
 // PlanShards validates the ledger against the full manifest, the shard
@@ -214,7 +242,7 @@ func (l *ShardLedger) PlanShards(entries []manifest.Entry, shards int, options s
 	if h.Options != options {
 		return ShardPlan{}, fmt.Errorf("checkpoint: %s: job options changed since the fan-out was checkpointed (ledger %q, requested %q)", l.path, h.Options, options)
 	}
-	p := ShardPlan{Assignments: make(map[int]ShardSubmit)}
+	p := ShardPlan{Assignments: make(map[int]ShardSubmit), Frequencies: l.pi}
 	for i, d := range l.dones {
 		if d.Shard != i || i >= shards {
 			return ShardPlan{}, fmt.Errorf("checkpoint: %s: done record %d out of sequence (shard %d of %d)", l.path, i, d.Shard, shards)

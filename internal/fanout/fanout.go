@@ -1,10 +1,44 @@
 // Package fanout is the fifth execution tier: a coordinator that
 // scales one manifest across several slimcodemld daemons. It slices
 // the manifest into deterministic contiguous shards (manifest.Shard),
-// submits one job per shard over the daemons' HTTP API (serve.Client),
-// polls the jobs, and concatenates the per-shard JSONL results — in
+// keeps the shards in a coordinator-side queue from which daemons pull
+// work as they finish, polls the jobs over the daemons' HTTP API
+// (serve.Client), and concatenates the per-shard JSONL results — in
 // shard order — into a single output file that is byte-identical to a
 // standalone single-process run of the same manifest.
+//
+// # The shard queue
+//
+// Shards are deliberately cut smaller than the fleet (default four per
+// endpoint): each endpoint holds at most InFlight submitted jobs, and
+// every remaining shard waits in the coordinator's queue for the next
+// endpoint with free capacity. A fast daemon therefore pulls more
+// shards than a slow one, and a dead daemon's unfinished shards simply
+// flow back into the queue — the slowest daemon gates only its own
+// current shard, not a statically pinned fraction of the manifest.
+//
+// # Endpoint health and re-probe
+//
+// An endpoint whose transport fails is marked dead and its submitted
+// shards return to the queue, but death is not forever: dead endpoints
+// are health-probed on an exponential backoff (Reprobe, doubling up to
+// ReprobeMax), and an endpoint that answers again is re-admitted and
+// resumes pulling shards. Only when the whole fleet stays dead past a
+// grace period (or re-probing is disabled) does the run fail.
+// Cancellation is classified before death: a context error from an
+// in-flight client call means the run was interrupted, never that the
+// endpoint died, so Ctrl-C burns no resubmission budget and exits at a
+// ledger-consistent point.
+//
+// # Shared frequencies at tier 5
+//
+// A ShareFrequencies run pools codon counts over the WHOLE manifest in
+// a coordinator pre-pass (the same bit-exact pooling a standalone
+// -sharefreq run performs), records the resulting π in the shard
+// ledger, and pins every shard's job to that vector via the wire
+// spec's Frequencies field — so the merged output is byte-identical to
+// the standalone -sharefreq run, and a resumed coordinator replays the
+// recorded π instead of re-pooling.
 //
 // # Invariants
 //
@@ -20,12 +54,12 @@
 //     shard data reaches disk before the ledger line that describes it.
 //     A killed coordinator rerun with the identical configuration skips
 //     the appended shards, adopts still-running jobs on their daemons,
-//     and resubmits the rest; resuming under a changed manifest, shard
+//     and requeues the rest; resuming under a changed manifest, shard
 //     count or options is refused.
 //   - Failure containment: a daemon that stops answering is excluded
-//     for the rest of the run and its unfinished shards are resubmitted
-//     to the remaining daemons (the resubmitted job re-runs the shard
-//     from scratch — per-daemon checkpoints do not travel). A shard is
+//     until a re-probe re-admits it, and its unfinished shards flow to
+//     the remaining daemons (a resubmitted job re-runs the shard from
+//     scratch — per-daemon checkpoints do not travel). A shard is
 //     resubmitted at most MaxResubmits times before the run fails.
 //     Finished shards are downloaded to a local spool file the moment
 //     their job reports done, so a daemon that subsequently dies — or
@@ -49,9 +83,24 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/align"
 	"repro/internal/checkpoint"
+	"repro/internal/core"
 	"repro/internal/manifest"
 	"repro/internal/serve"
+)
+
+// Tuning defaults: shards cut per endpoint when Config.Shards is zero,
+// the dead-endpoint re-probe backoff range, the health-probe timeout,
+// and how many ReprobeMax periods the whole fleet may stay dead before
+// the run gives up (re-probing makes a transient full-fleet outage
+// survivable, but a wrong -endpoints list must still fail, not hang).
+const (
+	defaultShardsPerEndpoint = 4
+	defaultReprobe           = time.Second
+	defaultReprobeMax        = 30 * time.Second
+	probeTimeout             = 2 * time.Second
+	fleetDeadGraceFactor     = 4
 )
 
 // Config describes one fan-out run.
@@ -59,35 +108,52 @@ type Config struct {
 	// Entries is the full manifest (all rows, before sharding).
 	Entries []manifest.Entry
 	// Endpoints are the daemon base URLs (e.g. "http://host:8710";
-	// bare host:port is accepted). At least one is required; shards are
-	// assigned round-robin and re-routed away from dead endpoints.
+	// bare host:port is accepted). At least one is required.
 	Endpoints []string
 	// Shards is how many contiguous row ranges to split the manifest
-	// into (0 = one per endpoint). More shards than endpoints gives
-	// finer-grained redistribution when a daemon dies.
+	// into (0 = four per endpoint). Shards form a queue: more, smaller
+	// shards rebalance better around slow or dying daemons, at the cost
+	// of more per-job overhead.
 	Shards int
+	// InFlight caps the jobs submitted to one endpoint at a time
+	// (default 1). Shards beyond the fleet's total capacity wait in the
+	// coordinator's queue and go to the next endpoint that frees up.
+	InFlight int
+	// Reprobe is the initial backoff before a dead endpoint is
+	// health-probed for re-admission; each failed probe doubles it up
+	// to ReprobeMax. Zero means the defaults (1 s up to 30 s); a
+	// negative Reprobe disables re-probing entirely — a dead endpoint
+	// then stays excluded for the rest of the run.
+	Reprobe    time.Duration
+	ReprobeMax time.Duration
 	// OutPath is the merged JSONL output; the shard ledger lives beside
 	// it (checkpoint.ShardLedgerPath) unless LedgerFile overrides it.
 	OutPath    string
 	LedgerFile string
 	// Spec carries the result-affecting job options. Its manifest
 	// fields (Manifest, ManifestPath, BaseDir) must be empty — the
-	// coordinator fills in each shard's rows — and ShareFrequencies
-	// must be false: per-shard pooled frequencies would diverge from a
-	// whole-manifest run, breaking the byte-parity contract.
+	// coordinator fills in each shard's rows. ShareFrequencies makes
+	// the coordinator pool codon counts over the whole manifest once
+	// and pin every shard's job to the pooled π (Spec.Frequencies
+	// itself must be empty: the coordinator derives the vector).
 	Spec serve.JobSpec
+	// CountCache, when set, names a sidecar codon-count cache file the
+	// ShareFrequencies pre-pass consults and updates (manifest.CountCache).
+	CountCache string
 	// Poll is the job status poll interval (default 500 ms).
 	Poll time.Duration
 	// MaxResubmits caps how often one shard may be resubmitted after
-	// daemon failures before the run fails (default 3).
+	// daemon failures before the run fails. Zero means exactly that —
+	// fail on the first lost shard, no resubmission; a negative value
+	// selects the default of 3.
 	MaxResubmits int
 	// Purge, when set, deletes each shard's job (results, ledger and
 	// spec files) from its daemon after the shard is safely appended to
 	// the merged output, so a fan-out run leaves no data behind.
 	Purge bool
 
-	// Logf, when set, receives progress lines (endpoint deaths,
-	// resubmissions, appended shards).
+	// Logf, when set, receives progress lines (endpoint deaths and
+	// re-admissions, resubmissions, appended shards).
 	Logf func(format string, args ...any)
 	// OnSubmitted and OnAppended, when set, observe shard lifecycle
 	// transitions — progress displays and tests hook in here.
@@ -104,14 +170,20 @@ type Summary struct {
 	// coordinator picked up instead of resubmitting.
 	Adopted   int
 	Resubmits int
-	Runtime   time.Duration
+	// Readmissions counts dead endpoints brought back by a successful
+	// re-probe.
+	Readmissions int
+	Runtime      time.Duration
 }
 
 // Fingerprint canonicalizes the result-affecting fields of a job spec
 // — the fan-out analogue of checkpoint.OptionsFingerprint. Scheduling
 // knobs (Concurrency, Prefetch) are deliberately absent: daemons
 // guarantee bit-identical results across them, so a run may resume
-// with different parallelism.
+// with different parallelism. ShareFrequencies is fingerprinted as the
+// coordinator-level intent; the derived π needs no component of its
+// own because it is a pure function of the manifest digest and the
+// frequency estimator, both already covered.
 func Fingerprint(spec serve.JobSpec) string {
 	return fmt.Sprintf("engine=%s freq=%s maxiter=%d seed=%d m0start=%t sharefreq=%t",
 		spec.Engine, spec.Freq, spec.MaxIter, spec.Seed, spec.M0Start, spec.ShareFrequencies)
@@ -141,11 +213,16 @@ type shardState struct {
 	spool string
 }
 
-// endpointState is one daemon and its health.
+// endpointState is one daemon, its health, and — while dead — its
+// re-probe schedule.
 type endpointState struct {
 	url    string
 	client *serve.Client
 	alive  bool
+	// probeAt is when the next re-probe is due; backoff is the current
+	// backoff, doubling after each failed probe up to Config.ReprobeMax.
+	probeAt time.Time
+	backoff time.Duration
 }
 
 type coord struct {
@@ -156,7 +233,13 @@ type coord struct {
 	out    *os.File
 	offset int64
 	next   int // next shard to append
-	sum    Summary
+	// pi is the pooled shared-frequency vector of a ShareFrequencies
+	// run, pinned into every shard's job spec.
+	pi []float64
+	// allDeadSince is when the last alive endpoint died (zero while any
+	// endpoint is alive) — the clock behind the fleet-dead grace period.
+	allDeadSince time.Time
+	sum          Summary
 }
 
 func (c *coord) logf(format string, args ...any) {
@@ -171,7 +254,7 @@ func (c *coord) logf(format string, args ...any) {
 // daemons, and rerunning the identical configuration adopts them.
 func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	start := time.Now()
-	c, err := newCoord(cfg)
+	c, err := newCoord(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +266,10 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	}
 	for c.next < len(c.shards) {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("fanout: interrupted with %d/%d shards merged — rerun the identical command to resume: %w", c.next, len(c.shards), err)
+			return nil, c.interrupted(err)
+		}
+		if err := c.reprobeDead(ctx); err != nil {
+			return nil, err
 		}
 		if err := c.submitPending(ctx); err != nil {
 			return nil, err
@@ -206,9 +292,32 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	return &c.sum, nil
 }
 
+// interrupted wraps a cancellation into the resume-instruction error
+// every clean interruption exits with.
+func (c *coord) interrupted(cause error) error {
+	return fmt.Errorf("fanout: interrupted with %d/%d shards merged — rerun the identical command to resume: %w", c.next, len(c.shards), cause)
+}
+
+// cancelled classifies an error from an in-flight client call:
+// cancellation — the run context is done, or the call itself surfaced
+// a context error (SIGINT mid-poll, a caller-imposed deadline) — is a
+// clean interruption, never endpoint death, and comes back wrapped
+// with resume instructions. nil means err is a genuine transport or
+// API failure the caller should handle as such.
+func (c *coord) cancelled(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return c.interrupted(cerr)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return c.interrupted(err)
+	}
+	return nil
+}
+
 // newCoord validates the configuration, opens (or creates) the shard
-// ledger, and positions the merged output at the resume offset.
-func newCoord(cfg Config) (*coord, error) {
+// ledger, positions the merged output at the resume offset, and — for
+// a ShareFrequencies run — derives or replays the shared π.
+func newCoord(ctx context.Context, cfg Config) (*coord, error) {
 	if len(cfg.Entries) == 0 {
 		return nil, fmt.Errorf("fanout: no manifest rows")
 	}
@@ -221,19 +330,31 @@ func newCoord(cfg Config) (*coord, error) {
 	if cfg.Spec.Manifest != "" || cfg.Spec.ManifestPath != "" || cfg.Spec.BaseDir != "" {
 		return nil, fmt.Errorf("fanout: the job spec's manifest fields are filled per shard; leave them empty")
 	}
-	if cfg.Spec.ShareFrequencies {
-		return nil, fmt.Errorf("fanout: share_frequencies pools codon counts per shard, which diverges from a whole-manifest run; run -sharefreq standalone instead")
+	if len(cfg.Spec.Frequencies) > 0 {
+		return nil, fmt.Errorf("fanout: the coordinator derives the shared frequency vector itself; leave Spec.Frequencies empty (set Spec.ShareFrequencies)")
 	}
 	if cfg.Shards == 0 {
-		cfg.Shards = len(cfg.Endpoints)
+		cfg.Shards = defaultShardsPerEndpoint * len(cfg.Endpoints)
 	}
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("fanout: shard count %d < 1", cfg.Shards)
 	}
+	if cfg.InFlight <= 0 {
+		cfg.InFlight = 1
+	}
+	if cfg.Reprobe == 0 {
+		cfg.Reprobe = defaultReprobe
+	}
+	if cfg.ReprobeMax <= 0 {
+		cfg.ReprobeMax = defaultReprobeMax
+	}
+	if cfg.ReprobeMax < cfg.Reprobe {
+		cfg.ReprobeMax = cfg.Reprobe
+	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = 500 * time.Millisecond
 	}
-	if cfg.MaxResubmits <= 0 {
+	if cfg.MaxResubmits < 0 {
 		cfg.MaxResubmits = 3
 	}
 
@@ -312,6 +433,27 @@ func newCoord(cfg Config) (*coord, error) {
 		return nil, err
 	}
 
+	// A ShareFrequencies run pins one whole-manifest π into every
+	// shard's job. The pre-pass pools codon counts in manifest order —
+	// the same bit-exact pooling a standalone -sharefreq run performs —
+	// and the vector is recorded in the shard ledger before any shard
+	// is submitted with it, so a resumed coordinator replays rather
+	// than recomputes it.
+	if cfg.Spec.ShareFrequencies {
+		c.pi = plan.Frequencies
+		if c.pi == nil {
+			c.pi, err = c.poolFrequencies(ctx, entries)
+			if err == nil {
+				err = c.ledger.AppendFrequencies(c.pi)
+			}
+			if err != nil {
+				c.ledger.Close()
+				c.out.Close()
+				return nil, err
+			}
+		}
+	}
+
 	// Spool files are only trusted within one coordinator incarnation
 	// (a kill can tear a download mid-copy); stale ones are refetched.
 	for _, st := range c.shards {
@@ -332,6 +474,35 @@ func newCoord(cfg Config) (*coord, error) {
 		}
 	}
 	return c, nil
+}
+
+// poolFrequencies runs the coordinator-side shared-frequency pre-pass
+// over the whole manifest.
+func (c *coord) poolFrequencies(ctx context.Context, entries []manifest.Entry) ([]float64, error) {
+	freq, err := core.ParseFreqEstimator(c.cfg.Spec.Freq)
+	if err != nil {
+		return nil, err
+	}
+	src := core.NewManifestSource(entries, align.FormatAuto)
+	if c.cfg.CountCache != "" {
+		src.WithCountCache(manifest.OpenCountCache(c.cfg.CountCache))
+	}
+	c.logf("fanout: pooling codon counts over %d genes for the shared frequency vector", len(entries))
+	return core.SharedFrequencies(ctx, src, core.Options{Freq: freq})
+}
+
+// shardSpec builds the job spec for one shard. A ShareFrequencies run
+// sends each daemon a plain fixed-π job: the pooling already happened
+// coordinator-side, so the per-job pre-pass flag is cleared and the
+// pooled vector rides the wire instead.
+func (c *coord) shardSpec(st *shardState) serve.JobSpec {
+	spec := c.cfg.Spec
+	spec.Manifest = st.text
+	if spec.ShareFrequencies {
+		spec.ShareFrequencies = false
+		spec.Frequencies = c.pi
+	}
+	return spec
 }
 
 // absEntries resolves every manifest path to an absolute one.
@@ -361,8 +532,7 @@ func (c *coord) endpointIndex(url string) int {
 	return -1
 }
 
-// aliveCount returns how many endpoints are still in play, so the
-// coordinator can fail fast when the whole fleet is gone.
+// aliveCount returns how many endpoints are currently in play.
 func (c *coord) aliveCount() int {
 	n := 0
 	for _, ep := range c.eps {
@@ -373,88 +543,82 @@ func (c *coord) aliveCount() int {
 	return n
 }
 
-// markDead excludes an endpoint for the rest of the run.
-func (c *coord) markDead(idx int, err error) {
-	if c.eps[idx].alive {
-		c.eps[idx].alive = false
-		c.logf("fanout: endpoint %s is not answering (%v); excluding it", c.eps[idx].url, err)
-	}
-}
-
-// demote returns a submitted shard to pending for resubmission,
-// failing the run once the shard has exhausted its resubmission budget.
-func (c *coord) demote(shard int, reason string) error {
-	st := c.shards[shard]
-	st.phase = shardPending
-	st.jobID = ""
-	st.resubmits++
-	c.sum.Resubmits++
-	c.logf("fanout: shard %d/%d needs resubmission (%s; attempt %d of %d)",
-		shard+1, len(c.shards), reason, st.resubmits, c.cfg.MaxResubmits)
-	if st.resubmits > c.cfg.MaxResubmits {
-		return fmt.Errorf("fanout: shard %d failed %d times, last: %s", shard, st.resubmits, reason)
-	}
-	return nil
-}
-
-// adoptAssignments probes the ledger's recorded jobs so a resumed
-// coordinator keeps polling still-live daemon jobs instead of starting
-// them over. A job the daemon no longer knows (or a daemon that is
-// gone) sends the shard back to pending.
-func (c *coord) adoptAssignments(ctx context.Context) error {
+// inflight counts the shards currently submitted to one endpoint — the
+// queue's per-endpoint capacity gauge. Derived from shard state rather
+// than counted incrementally so no failure path can leak a slot.
+func (c *coord) inflight(ep int) int {
+	n := 0
 	for i := c.next; i < len(c.shards); i++ {
-		st := c.shards[i]
-		if st.phase != shardSubmitted {
+		if st := c.shards[i]; st.phase == shardSubmitted && st.endpoint == ep {
+			n++
+		}
+	}
+	return n
+}
+
+// markDead excludes an endpoint and schedules its first re-probe.
+func (c *coord) markDead(idx int, err error) {
+	ep := c.eps[idx]
+	if !ep.alive {
+		return
+	}
+	ep.alive = false
+	if c.cfg.Reprobe < 0 {
+		c.logf("fanout: endpoint %s is not answering (%v); excluding it for the rest of the run", ep.url, err)
+	} else {
+		ep.backoff = c.cfg.Reprobe
+		ep.probeAt = time.Now().Add(ep.backoff)
+		c.logf("fanout: endpoint %s is not answering (%v); excluding it until a re-probe succeeds", ep.url, err)
+	}
+	if c.aliveCount() == 0 {
+		c.allDeadSince = time.Now()
+	}
+}
+
+// reprobeDead health-probes every dead endpoint whose backoff has
+// elapsed. An endpoint that answers — even with an API-level error,
+// which proves a live server — is re-admitted and starts pulling
+// shards again; a failed probe doubles the backoff up to ReprobeMax.
+func (c *coord) reprobeDead(ctx context.Context) error {
+	if c.cfg.Reprobe < 0 {
+		return nil
+	}
+	now := time.Now()
+	for _, ep := range c.eps {
+		if ep.alive || now.Before(ep.probeAt) {
 			continue
 		}
-		ep := c.eps[st.endpoint]
-		if !ep.alive {
-			st.phase = shardPending
-			st.jobID = ""
+		pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+		_, err := ep.client.Health(pctx)
+		cancel()
+		if err == nil || isAPIError(err) {
+			ep.alive = true
+			ep.backoff = 0
+			c.allDeadSince = time.Time{}
+			c.sum.Readmissions++
+			c.logf("fanout: endpoint %s is answering again; re-admitting it", ep.url)
 			continue
 		}
-		status, err := ep.client.JobStatus(ctx, st.jobID)
-		// Job ids can be reissued after a purge + daemon restart, so an
-		// id match alone does not identify the shard's job: the daemon's
-		// manifest digest must match the shard's rows, or the recorded
-		// id now names someone else's job and the shard is rerun.
-		sameJob := err == nil && status.ManifestDigest == st.digest
-		switch {
-		case sameJob && (status.State == serve.StateQueued || status.State == serve.StateRunning ||
-			status.State == serve.StateInterrupted):
-			c.sum.Adopted++
-			c.logf("fanout: shard %d/%d: adopted job %s on %s (%s, %d/%d genes)",
-				i+1, len(c.shards), st.jobID, ep.url, status.State, status.Done, status.Total)
-		case sameJob && status.State == serve.StateDone:
-			st.phase = shardJobDone
-			c.sum.Adopted++
-			c.logf("fanout: shard %d/%d: adopted finished job %s on %s", i+1, len(c.shards), st.jobID, ep.url)
-		case err == nil || serve.IsNotFound(err):
-			// Failed, cancelled, or forgotten: run it again.
-			st.phase = shardPending
-			st.jobID = ""
-		default:
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			if isAPIError(err) {
-				// A transient server-side error: keep the assignment;
-				// the main poll loop retries it rather than orphaning
-				// a possibly near-done job.
-				continue
-			}
-			c.markDead(st.endpoint, err)
-			st.phase = shardPending
-			st.jobID = ""
+		// The probe's own deadline is not a run cancellation — only the
+		// run context says that.
+		if cerr := ctx.Err(); cerr != nil {
+			return c.interrupted(cerr)
 		}
+		ep.backoff *= 2
+		if ep.backoff > c.cfg.ReprobeMax {
+			ep.backoff = c.cfg.ReprobeMax
+		}
+		ep.probeAt = now.Add(ep.backoff)
 	}
 	return nil
 }
 
-// submitPending submits a job for every pending non-empty shard,
-// spreading shards round-robin and skipping dead or momentarily full
-// (503) endpoints. A shard every alive daemon refuses with 503 stays
-// pending and is retried next round.
+// submitPending walks the shard queue and submits each pending
+// non-empty shard to an alive endpoint with free capacity, scanning
+// round-robin from the shard's own index so an idle fleet spreads
+// evenly. Shards beyond the fleet's capacity — or ones every candidate
+// refuses with 503 — stay queued for the next round. With the whole
+// fleet dead the run waits out the re-probe grace period, then fails.
 func (c *coord) submitPending(ctx context.Context) error {
 	for i := c.next; i < len(c.shards); i++ {
 		st := c.shards[i]
@@ -462,20 +626,24 @@ func (c *coord) submitPending(ctx context.Context) error {
 			continue
 		}
 		if c.aliveCount() == 0 {
-			return fmt.Errorf("fanout: all %d endpoints are dead", len(c.eps))
+			if c.cfg.Reprobe < 0 {
+				return fmt.Errorf("fanout: all %d endpoints are dead", len(c.eps))
+			}
+			if grace := fleetDeadGraceFactor * c.cfg.ReprobeMax; time.Since(c.allDeadSince) > grace {
+				return fmt.Errorf("fanout: all %d endpoints have stayed dead for over %s — rerun the identical command to resume once the fleet returns", len(c.eps), grace)
+			}
+			return nil // wait for a re-probe to re-admit someone
 		}
 		for off := 0; off < len(c.eps); off++ {
 			idx := (i + off) % len(c.eps)
 			ep := c.eps[idx]
-			if !ep.alive {
+			if !ep.alive || c.inflight(idx) >= c.cfg.InFlight {
 				continue
 			}
-			spec := c.cfg.Spec
-			spec.Manifest = st.text
-			status, err := ep.client.Submit(ctx, spec)
+			status, err := ep.client.Submit(ctx, c.shardSpec(st))
 			if err != nil {
-				if ctx.Err() != nil {
-					return ctx.Err()
+				if cerr := c.cancelled(ctx, err); cerr != nil {
+					return cerr
 				}
 				if serve.IsUnavailable(err) {
 					continue // full queue or draining: try the next daemon
@@ -504,9 +672,9 @@ func (c *coord) submitPending(ctx context.Context) error {
 }
 
 // pollSubmitted advances every submitted shard: done jobs become
-// appendable, lost jobs and dead daemons send the shard back for
-// resubmission, and a job the daemon reports failed consumes one
-// resubmission attempt (so deterministic failures stop the run).
+// appendable, lost jobs and dead daemons send the shard back to the
+// queue, and a job the daemon reports failed consumes one resubmission
+// attempt (so deterministic failures stop the run).
 func (c *coord) pollSubmitted(ctx context.Context) error {
 	for i := c.next; i < len(c.shards); i++ {
 		st := c.shards[i]
@@ -514,10 +682,19 @@ func (c *coord) pollSubmitted(ctx context.Context) error {
 			continue
 		}
 		ep := c.eps[st.endpoint]
+		if !ep.alive {
+			// The endpoint died while this shard was submitted (another
+			// shard's call saw the failure first): requeue without
+			// burning an HTTP round trip on a known-dead daemon.
+			if err := c.demote(i, fmt.Sprintf("endpoint %s died", ep.url)); err != nil {
+				return err
+			}
+			continue
+		}
 		status, err := ep.client.JobStatus(ctx, st.jobID)
 		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+			if cerr := c.cancelled(ctx, err); cerr != nil {
+				return cerr
 			}
 			reason := fmt.Sprintf("job %s lost by %s", st.jobID, ep.url)
 			if !isAPIError(err) {
@@ -552,7 +729,78 @@ func (c *coord) pollSubmitted(ctx context.Context) error {
 			// queued / running / interrupted: keep waiting. An
 			// interrupted job resumes when its daemon restarts; if the
 			// daemon instead stays down, the poll soon fails with a
-			// transport error and the shard is resubmitted elsewhere.
+			// transport error and the shard is requeued.
+		}
+	}
+	return nil
+}
+
+// demote returns a submitted shard to the queue for resubmission,
+// failing the run once the shard has exhausted its resubmission budget
+// (with MaxResubmits 0, the first loss is already fatal).
+func (c *coord) demote(shard int, reason string) error {
+	st := c.shards[shard]
+	st.phase = shardPending
+	st.jobID = ""
+	st.resubmits++
+	c.sum.Resubmits++
+	c.logf("fanout: shard %d/%d needs resubmission (%s; attempt %d of %d)",
+		shard+1, len(c.shards), reason, st.resubmits, c.cfg.MaxResubmits)
+	if st.resubmits > c.cfg.MaxResubmits {
+		return fmt.Errorf("fanout: shard %d failed %d times, last: %s", shard, st.resubmits, reason)
+	}
+	return nil
+}
+
+// adoptAssignments probes the ledger's recorded jobs so a resumed
+// coordinator keeps polling still-live daemon jobs instead of starting
+// them over. A job the daemon no longer knows (or a daemon that is
+// gone) sends the shard back to the queue.
+func (c *coord) adoptAssignments(ctx context.Context) error {
+	for i := c.next; i < len(c.shards); i++ {
+		st := c.shards[i]
+		if st.phase != shardSubmitted {
+			continue
+		}
+		ep := c.eps[st.endpoint]
+		if !ep.alive {
+			st.phase = shardPending
+			st.jobID = ""
+			continue
+		}
+		status, err := ep.client.JobStatus(ctx, st.jobID)
+		// Job ids can be reissued after a purge + daemon restart, so an
+		// id match alone does not identify the shard's job: the daemon's
+		// manifest digest must match the shard's rows, or the recorded
+		// id now names someone else's job and the shard is rerun.
+		sameJob := err == nil && status.ManifestDigest == st.digest
+		switch {
+		case sameJob && (status.State == serve.StateQueued || status.State == serve.StateRunning ||
+			status.State == serve.StateInterrupted):
+			c.sum.Adopted++
+			c.logf("fanout: shard %d/%d: adopted job %s on %s (%s, %d/%d genes)",
+				i+1, len(c.shards), st.jobID, ep.url, status.State, status.Done, status.Total)
+		case sameJob && status.State == serve.StateDone:
+			st.phase = shardJobDone
+			c.sum.Adopted++
+			c.logf("fanout: shard %d/%d: adopted finished job %s on %s", i+1, len(c.shards), st.jobID, ep.url)
+		case err == nil || serve.IsNotFound(err):
+			// Failed, cancelled, or forgotten: run it again.
+			st.phase = shardPending
+			st.jobID = ""
+		default:
+			if cerr := c.cancelled(ctx, err); cerr != nil {
+				return cerr
+			}
+			if isAPIError(err) {
+				// A transient server-side error: keep the assignment;
+				// the main poll loop retries it rather than orphaning
+				// a possibly near-done job.
+				continue
+			}
+			c.markDead(st.endpoint, err)
+			st.phase = shardPending
+			st.jobID = ""
 		}
 	}
 	return nil
@@ -589,8 +837,8 @@ func (c *coord) spoolShard(ctx context.Context, i int) error {
 			return nil
 		}
 	}
-	if ctx.Err() != nil {
-		return ctx.Err()
+	if cerr := c.cancelled(ctx, err); cerr != nil {
+		return cerr
 	}
 	os.Remove(st.spool)
 	if !isAPIError(err) {

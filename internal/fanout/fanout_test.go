@@ -149,8 +149,9 @@ func TestFanoutParityAcrossDaemons(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.Shards != 3 || sum.Genes != 9 || sum.Skipped != 0 {
-		t.Fatalf("summary %+v, want 3 shards / 9 genes / 0 skipped", sum)
+	// The default queue cut is four shards per endpoint.
+	if sum.Shards != 12 || sum.Genes != 9 || sum.Skipped != 0 {
+		t.Fatalf("summary %+v, want 12 shards / 9 genes / 0 skipped", sum)
 	}
 	got, err := os.ReadFile(outPath)
 	if err != nil {
@@ -273,12 +274,13 @@ func TestFanoutDaemonKilledMidRun(t *testing.T) {
 
 	killed := false
 	cfg := fanout.Config{
-		Entries:   entries,
-		Endpoints: []string{d0.ts.URL, d1.ts.URL},
-		Shards:    2,
-		OutPath:   outPath,
-		Spec:      testSpec,
-		Poll:      20 * time.Millisecond,
+		Entries:      entries,
+		Endpoints:    []string{d0.ts.URL, d1.ts.URL},
+		Shards:       2,
+		OutPath:      outPath,
+		Spec:         testSpec,
+		Poll:         20 * time.Millisecond,
+		MaxResubmits: 3,
 		OnSubmitted: func(shard int, endpoint, jobID string) {
 			// As soon as shard 1 lands on daemon 1, take daemon 1 down —
 			// synchronously, so the job is guaranteed gone before the

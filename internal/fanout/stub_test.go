@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -34,15 +35,19 @@ type stubJob struct {
 
 // stubDaemon speaks just enough of the serve wire protocol for the
 // coordinator. ready decides when a job reports done; reject503 makes
-// every submission answer 503 (a perpetually full queue).
+// every submission answer 503 (a perpetually full queue); failJobs
+// makes every job report failed (a deterministic job-level failure);
+// statusDelay stalls each status answer (a slow poll to cancel into).
 type stubDaemon struct {
-	mu        sync.Mutex
-	nextID    int
-	jobs      map[string]*stubJob
-	submits   int
-	fetched   []string // job ids whose results were downloaded, in order
-	ready     func(d *stubDaemon, id string) bool
-	reject503 bool
+	mu          sync.Mutex
+	nextID      int
+	jobs        map[string]*stubJob
+	submits     int
+	fetched     []string // job ids whose results were downloaded, in order
+	ready       func(d *stubDaemon, id string) bool
+	reject503   bool
+	failJobs    bool
+	statusDelay time.Duration
 }
 
 func newStubDaemon() *stubDaemon {
@@ -83,6 +88,9 @@ func (d *stubDaemon) handler() http.Handler {
 		json.NewEncoder(w).Encode(serve.Status{ID: job.id, State: serve.StateQueued, Total: len(job.genes)})
 	})
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if d.statusDelay > 0 {
+			time.Sleep(d.statusDelay)
+		}
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		job, ok := d.jobs[r.PathValue("id")]
@@ -92,10 +100,13 @@ func (d *stubDaemon) handler() http.Handler {
 			return
 		}
 		state := serve.StateRunning
-		if d.ready(d, job.id) {
+		switch {
+		case d.failJobs:
+			state = serve.StateFailed
+		case d.ready(d, job.id):
 			state = serve.StateDone
 		}
-		json.NewEncoder(w).Encode(serve.Status{ID: job.id, State: state, Total: len(job.genes), Done: len(job.genes)})
+		json.NewEncoder(w).Encode(serve.Status{ID: job.id, State: state, Total: len(job.genes), Done: len(job.genes), Error: "stub failure"})
 	})
 	mux.HandleFunc("GET /jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) {
 		d.mu.Lock()
@@ -198,6 +209,7 @@ func TestFanoutOutOfOrderCompletion(t *testing.T) {
 	if _, err := fanout.Run(context.Background(), fanout.Config{
 		Entries:   entries,
 		Endpoints: eps,
+		Shards:    3, // one shard per stub so the completion gating is exact
 		OutPath:   outPath,
 		Spec:      serve.JobSpec{MaxIter: 1, Seed: 1},
 		Poll:      5 * time.Millisecond,
@@ -256,6 +268,7 @@ func TestFanoutRoutesAround503AndConnRefused(t *testing.T) {
 	sum, err := fanout.Run(context.Background(), fanout.Config{
 		Entries:   entries,
 		Endpoints: []string{tsFull.URL, deadURL, tsOK.URL},
+		Shards:    3,
 		OutPath:   outPath,
 		Spec:      serve.JobSpec{MaxIter: 1, Seed: 1},
 		Poll:      5 * time.Millisecond,
@@ -284,5 +297,182 @@ func TestFanoutRoutesAround503AndConnRefused(t *testing.T) {
 		if names[i] != e.Name {
 			t.Fatalf("merged row %d is %s, want %s", i, names[i], e.Name)
 		}
+	}
+}
+
+// Cancellation is not endpoint death: interrupting the coordinator
+// while a status poll is in flight must exit cleanly with the resume
+// instruction wrapping context.Canceled — not mark the daemon dead,
+// not burn a resubmission.
+func TestFanoutCancellationIsNotEndpointDeath(t *testing.T) {
+	entries := stubEntries(t, 2)
+	stub := newStubDaemon()
+	stub.ready = func(*stubDaemon, string) bool { return false } // never finishes
+	stub.statusDelay = 300 * time.Millisecond
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	var logMu sync.Mutex
+	var logs []string
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := fanout.Run(ctx, fanout.Config{
+		Entries:   entries,
+		Endpoints: []string{ts.URL},
+		Shards:    1,
+		OutPath:   filepath.Join(t.TempDir(), "merged.jsonl"),
+		Spec:      serve.JobSpec{MaxIter: 1, Seed: 1},
+		Poll:      5 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+		OnSubmitted: func(shard int, endpoint, jobID string) {
+			// Cancel while the first (stalled) status poll is in flight.
+			time.AfterFunc(50*time.Millisecond, cancel)
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want an error wrapping context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("cancellation error %q carries no resume instruction", err)
+	}
+	stub.mu.Lock()
+	submits := stub.submits
+	stub.mu.Unlock()
+	if submits != 1 {
+		t.Fatalf("cancelled run submitted %d times, want exactly 1 (no resubmission)", submits)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	for _, line := range logs {
+		if strings.Contains(line, "excluding") || strings.Contains(line, "resubmission") {
+			t.Fatalf("cancellation was misclassified as endpoint failure: %q", line)
+		}
+	}
+}
+
+// MaxResubmits 0 means exactly zero resubmissions: the first lost
+// shard fails the run after a single submission. The default budget
+// (negative MaxResubmits) still retries three times — four
+// submissions total.
+func TestFanoutZeroResubmitsFailsFast(t *testing.T) {
+	run := func(maxResubmits int) (submits int, err error) {
+		stub := newStubDaemon()
+		stub.failJobs = true
+		ts := httptest.NewServer(stub.handler())
+		defer ts.Close()
+		_, err = fanout.Run(context.Background(), fanout.Config{
+			Entries:      stubEntries(t, 2),
+			Endpoints:    []string{ts.URL},
+			Shards:       1,
+			OutPath:      filepath.Join(t.TempDir(), "merged.jsonl"),
+			Spec:         serve.JobSpec{MaxIter: 1, Seed: 1},
+			Poll:         time.Millisecond,
+			MaxResubmits: maxResubmits,
+		})
+		stub.mu.Lock()
+		defer stub.mu.Unlock()
+		return stub.submits, err
+	}
+
+	submits, err := run(0)
+	if err == nil || !strings.Contains(err.Error(), "shard 0 failed") {
+		t.Fatalf("zero-budget run: %v, want a shard-failure error", err)
+	}
+	if submits != 1 {
+		t.Fatalf("zero-budget run submitted %d times, want exactly 1", submits)
+	}
+
+	submits, err = run(-1)
+	if err == nil {
+		t.Fatal("deterministically failing job reported success")
+	}
+	if submits != 4 {
+		t.Fatalf("default budget submitted %d times, want 4 (initial + 3 resubmissions)", submits)
+	}
+}
+
+// An endpoint that is down when the run starts — the whole fleet, even
+// — is not fatal while re-probing is on: the coordinator waits, the
+// re-probe re-admits the endpoint once it comes up, and the run
+// completes.
+func TestFanoutReprobeReadmitsColdEndpoint(t *testing.T) {
+	entries := stubEntries(t, 3)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // the endpoint starts out refusing connections
+
+	stub := newStubDaemon()
+	serverUp := make(chan *httptest.Server, 1)
+	time.AfterFunc(150*time.Millisecond, func() {
+		l2, err := net.Listen("tcp", addr)
+		if err != nil {
+			serverUp <- nil
+			return
+		}
+		ts := httptest.NewUnstartedServer(stub.handler())
+		ts.Listener.Close()
+		ts.Listener = l2
+		ts.Start()
+		serverUp <- ts
+	})
+
+	outPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	sum, err := fanout.Run(context.Background(), fanout.Config{
+		Entries:    entries,
+		Endpoints:  []string{"http://" + addr},
+		Shards:     1,
+		OutPath:    outPath,
+		Spec:       serve.JobSpec{MaxIter: 1, Seed: 1},
+		Poll:       5 * time.Millisecond,
+		Reprobe:    20 * time.Millisecond,
+		ReprobeMax: 500 * time.Millisecond,
+	})
+	if ts := <-serverUp; ts != nil {
+		defer ts.Close()
+	} else {
+		t.Fatalf("could not rebind %s for the late daemon", addr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Readmissions < 1 {
+		t.Fatalf("summary %+v: the late endpoint was never re-admitted", sum)
+	}
+	if names := mergedNames(t, outPath); len(names) != len(entries) {
+		t.Fatalf("merged %d rows, want %d", len(names), len(entries))
+	}
+}
+
+// With re-probing disabled (negative Reprobe), a fully dead fleet
+// fails immediately instead of waiting out a grace period.
+func TestFanoutReprobeDisabledFailsFast(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + l.Addr().String()
+	l.Close()
+
+	_, err = fanout.Run(context.Background(), fanout.Config{
+		Entries:   stubEntries(t, 1),
+		Endpoints: []string{deadURL},
+		Shards:    1,
+		OutPath:   filepath.Join(t.TempDir(), "merged.jsonl"),
+		Spec:      serve.JobSpec{MaxIter: 1, Seed: 1},
+		Poll:      time.Millisecond,
+		Reprobe:   -1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "all 1 endpoints are dead") {
+		t.Fatalf("dead fleet with re-probing disabled: %v, want an all-endpoints-dead error", err)
 	}
 }

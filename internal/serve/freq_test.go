@@ -1,0 +1,66 @@
+package serve_test
+
+// Wire-level validation of the fixed shared-frequency vector a fan-out
+// coordinator pins shard jobs to (JobSpec.Frequencies).
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestServeValidatesFrequencies(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		DataDir:     t.TempDir(),
+		PoolWorkers: 1,
+		MaxActive:   1,
+		QueueDepth:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := serve.NewClient(ts.URL)
+	ctx := context.Background()
+	mani, _ := simManifest(t, 1, 9500)
+
+	bad := []struct {
+		name string
+		pi   []float64
+		want string
+	}{
+		// (NaN and ±Inf need no wire-level case: JSON numbers cannot
+		// encode them, so json.Marshal/Unmarshal refuse them before the
+		// server-side check could even see one.)
+		{"wrong length", []float64{0.5, 0.5}, "61 weights"},
+		{"negative weight", append(make([]float64, 60), -1), "not a valid probability weight"},
+	}
+	for _, tc := range bad {
+		_, err := client.Submit(ctx, serve.JobSpec{ManifestPath: mani, MaxIter: 1, Seed: 1, Frequencies: tc.pi})
+		var ae *serve.APIError
+		if !errors.As(err, &ae) || ae.StatusCode != 400 {
+			t.Fatalf("%s: %v, want a 400 API error", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A valid vector is accepted and the job runs to completion with
+	// the fixed π (no per-job pre-pass).
+	uni := make([]float64, 61)
+	for i := range uni {
+		uni[i] = 1.0 / 61
+	}
+	job, err := client.Submit(ctx, serve.JobSpec{ManifestPath: mani, MaxIter: 1, Seed: 1, Frequencies: uni})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollClient(t, client, job.ID, func(s serve.Status) bool { return s.State == serve.StateDone }, "done")
+}

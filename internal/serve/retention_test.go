@@ -174,3 +174,55 @@ func TestServePurgeAndRetention(t *testing.T) {
 		t.Fatalf("unknown job results: %v", err)
 	}
 }
+
+// A degenerate retention window (shorter than the sweeper can divide
+// down) must not panic the sweeper's ticker — the interval is clamped
+// — and must still sweep finished jobs.
+func TestServeDegenerateRetentionWindow(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		DataDir:     t.TempDir(),
+		PoolWorkers: 1,
+		MaxActive:   1,
+		QueueDepth:  4,
+		Retain:      time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := serve.NewClient(ts.URL)
+	ctx := context.Background()
+
+	mani, _ := simManifest(t, 1, 9300)
+	job, err := client.Submit(ctx, serve.JobSpec{ManifestPath: mani, MaxIter: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job finishes, ages out instantly, and the clamped sweeper
+	// purges it shortly after.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		_, err := client.JobStatus(ctx, job.ID)
+		if serve.IsNotFound(err) {
+			return // swept
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("degenerate retention window never swept the finished job")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// A negative retention window is a configuration error, refused at
+// startup rather than detonating in the sweeper.
+func TestServeRejectsNegativeRetention(t *testing.T) {
+	_, err := serve.New(serve.Config{DataDir: t.TempDir(), Retain: -time.Second})
+	if err == nil || !strings.Contains(err.Error(), "negative retention") {
+		t.Fatalf("negative Retain: %v, want a refused configuration", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -46,6 +47,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/checkpoint"
+	"repro/internal/codon"
 	"repro/internal/core"
 	"repro/internal/lik"
 	"repro/internal/manifest"
@@ -75,8 +77,10 @@ type Config struct {
 	// Retain, when positive, bounds the data directory: finished jobs
 	// (done, failed or cancelled — never interrupted, which resume on
 	// restart) are purged, files and all, once their finish time is
-	// older than this window. Zero keeps jobs forever; DELETE with
-	// ?purge=1 still removes them on demand.
+	// older than this window. Zero keeps jobs forever (negative is
+	// refused by New); DELETE with ?purge=1 still removes them on
+	// demand. Degenerate sub-tick windows are safe: the sweep interval
+	// is clamped (sweepInterval), never handed raw to time.NewTicker.
 	Retain time.Duration
 }
 
@@ -133,6 +137,16 @@ type JobSpec struct {
 	Seed             int64  `json:"seed,omitempty"`
 	M0Start          bool   `json:"m0_start,omitempty"`
 	ShareFrequencies bool   `json:"share_frequencies,omitempty"`
+	// Frequencies, when non-empty, pins the equilibrium codon
+	// frequencies (universal-code order, one weight per sense codon)
+	// instead of estimating them from this job's own genes — how a
+	// fan-out coordinator hands every shard the identical
+	// whole-manifest π so -sharefreq holds at tier 5. The values
+	// survive the JSON round trip bit-exactly: Go prints the shortest
+	// decimal that re-parses to the same float64. With ShareFrequencies
+	// also set, the per-job pooling pre-pass is skipped and the preset
+	// vector is used directly.
+	Frequencies []float64 `json:"frequencies,omitempty"`
 	// Concurrency bounds genes fitted at once within this job
 	// (0 = GOMAXPROCS); Prefetch bounds resident genes (0 = 2×
 	// concurrency).
@@ -255,6 +269,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("serve: Config.DataDir is required")
 	}
+	if cfg.Retain < 0 {
+		return nil, fmt.Errorf("serve: negative retention window %s (use 0 to keep jobs forever)", cfg.Retain)
+	}
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -324,18 +341,28 @@ func (s *Server) Purge(id string) error {
 	return nil
 }
 
-// sweeper purges expired finished jobs every quarter of the retention
-// window (clamped to [50 ms, 1 min]) until shutdown.
-func (s *Server) sweeper() {
-	defer s.wg.Done()
-	interval := s.cfg.Retain / 4
+// sweepInterval derives the sweeper's tick from the retention window:
+// a quarter of it, clamped to [50 ms, 1 min]. The floor keeps
+// degenerate windows safe — retain/4 rounds to 0 for anything under
+// 4 ns, and time.NewTicker panics on a non-positive interval — while
+// still sweeping such windows promptly; the ceiling keeps huge windows
+// from deferring cleanup for hours past expiry.
+func sweepInterval(retain time.Duration) time.Duration {
+	interval := retain / 4
 	if interval < 50*time.Millisecond {
 		interval = 50 * time.Millisecond
 	}
 	if interval > time.Minute {
 		interval = time.Minute
 	}
-	t := time.NewTicker(interval)
+	return interval
+}
+
+// sweeper purges expired finished jobs every sweepInterval until
+// shutdown.
+func (s *Server) sweeper() {
+	defer s.wg.Done()
+	t := time.NewTicker(sweepInterval(s.cfg.Retain))
 	defer t.Stop()
 	for {
 		select {
@@ -673,6 +700,17 @@ func (s *Server) resolveSpec(spec JobSpec) ([]manifest.Entry, core.StreamOptions
 		Prefetch: spec.Prefetch,
 		Pool:     s.pool,
 		Decomps:  s.cache,
+	}
+	if n := len(spec.Frequencies); n > 0 {
+		if want := codon.Universal.NumStates(); n != want {
+			return nil, opts, fmt.Errorf("serve: frequencies must carry %d weights (one per universal-code sense codon), got %d", want, n)
+		}
+		for i, v := range spec.Frequencies {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, opts, fmt.Errorf("serve: frequencies[%d] = %v is not a valid probability weight", i, v)
+			}
+		}
+		opts.Options.Frequencies = spec.Frequencies
 	}
 	return entries, opts, nil
 }

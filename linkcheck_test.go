@@ -2,8 +2,10 @@ package main
 
 // TestDocLinks keeps the documentation's cross-references honest: every
 // relative markdown link in README.md and docs/*.md must point at a
-// file (or directory) that exists in the repository, so a renamed file
-// or a typoed path fails CI instead of rotting silently.
+// file (or directory) that exists in the repository, and every
+// `#fragment` on a markdown target must name a real heading in that
+// file, so a renamed file, a typoed path, or a rewritten section title
+// fails CI instead of rotting silently.
 
 import (
 	"os"
@@ -17,6 +19,38 @@ import (
 // links are not used in this repository.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// mdHeading matches ATX headings; the capture is the heading text.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// nonSlug strips the characters GitHub's anchor slugger drops.
+var nonSlug = regexp.MustCompile(`[^a-z0-9 \-_]`)
+
+// slugify renders a heading the way GitHub anchors it: lowercase, drop
+// punctuation, spaces to dashes. (Inline code/emphasis markers are
+// punctuation and fall out on their own.)
+func slugify(heading string) string {
+	s := strings.ToLower(heading)
+	s = nonSlug.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}
+
+// anchors returns the set of heading slugs a markdown file exposes.
+func anchors(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool)
+	for _, m := range mdHeading.FindAllStringSubmatch(string(data), -1) {
+		slug := slugify(m[1])
+		// GitHub dedupes repeats as slug-1, slug-2, …; headings don't
+		// repeat in these docs, so the base slug is enough.
+		set[slug] = true
+	}
+	return set
+}
+
 func TestDocLinks(t *testing.T) {
 	files := []string{"README.md"}
 	docs, err := filepath.Glob("docs/*.md")
@@ -28,6 +62,7 @@ func TestDocLinks(t *testing.T) {
 		t.Fatal("no docs/*.md found — the architecture and operations docs are required")
 	}
 
+	anchorCache := make(map[string]map[string]bool)
 	checked := 0
 	for _, file := range files {
 		data, err := os.ReadFile(file)
@@ -39,14 +74,27 @@ func TestDocLinks(t *testing.T) {
 			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 				continue // external; availability is not ours to test
 			}
-			target = strings.SplitN(target, "#", 2)[0]
-			if target == "" {
-				continue // pure fragment: same-file anchor
+			path, fragment, _ := strings.Cut(target, "#")
+			resolved := file // pure fragment: same-file anchor
+			if path != "" {
+				// Relative links resolve against the linking file.
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q (resolved %s): %v", file, m[1], resolved, err)
+					continue
+				}
+				checked++
 			}
-			// Relative links resolve against the linking file.
-			resolved := filepath.Join(filepath.Dir(file), target)
-			if _, err := os.Stat(resolved); err != nil {
-				t.Errorf("%s: broken link %q (resolved %s): %v", file, m[1], resolved, err)
+			if fragment == "" || !strings.HasSuffix(resolved, ".md") {
+				continue
+			}
+			set, ok := anchorCache[resolved]
+			if !ok {
+				set = anchors(t, resolved)
+				anchorCache[resolved] = set
+			}
+			if !set[fragment] {
+				t.Errorf("%s: link %q points at anchor #%s, which no heading in %s produces", file, m[1], fragment, resolved)
 			}
 			checked++
 		}
