@@ -413,6 +413,43 @@ func BenchmarkRefreshTransitions(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelSweep times every registered GEMM kernel on the NT
+// shapes the likelihood computation issues (see bench.KernelShapes):
+// the Eq. 9 transition build and the bundled pattern-block apply, each
+// through the plain and the pre-packed entry point. All kernels are
+// bit-exact (conformance suite), so the contrast is pure speed; the
+// README records the per-dimension table.
+func BenchmarkKernelSweep(b *testing.B) {
+	for _, sh := range bench.KernelShapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		a := mat.New(m, k)
+		bm := mat.New(n, k)
+		c := mat.New(m, n)
+		for i := range a.Data {
+			a.Data[i] = float64(i%17) * 0.25
+		}
+		for i := range bm.Data {
+			bm.Data[i] = float64(i%13) * 0.5
+		}
+		for _, kr := range blas.Kernels() {
+			name := fmt.Sprintf("%dx%dx%d/%s", m, n, k, kr.Name())
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					kr.DgemmNT(1, a, bm, 0, c)
+				}
+			})
+			b.Run(name+"-packed", func(b *testing.B) {
+				var pb blas.PackedB
+				kr.PackB(bm, &pb)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					kr.DgemmNTRowsPacked(1, a, &pb, 0, c, 0, m)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBatchDriver measures the multi-gene batch driver against
 // running the same genes back-to-back: shared workers, shared
 // eigendecomposition cache, pooled frequencies.

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/align"
+	"repro/internal/blas"
 	"repro/internal/serve"
 )
 
@@ -59,8 +60,15 @@ func main() {
 		format  = flag.String("format", "auto", "alignment format for job files: fasta, phylip or auto")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight genes")
 		retain  = flag.Duration("retain", 0, "purge done/failed/cancelled jobs (files and all) this long after they finish; 0 keeps them forever")
+		kernel  = flag.String("kernel", "", "GEMM kernel for all jobs (empty = $"+blas.KernelEnv+" or "+blas.DefaultKernel+"; every kernel is bit-exact, results never change)")
 	)
 	flag.Parse()
+	if *kernel != "" {
+		if err := blas.SetKernel(*kernel); err != nil {
+			fmt.Fprintln(os.Stderr, "slimcodemld:", err)
+			os.Exit(2)
+		}
+	}
 	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *drain, *retain); err != nil {
 		fmt.Fprintln(os.Stderr, "slimcodemld:", err)
 		os.Exit(1)

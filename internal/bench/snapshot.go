@@ -24,6 +24,26 @@ type Snapshot struct {
 	// TransitionRefresh is the transition-phase sweep (full P(t)
 	// rebuild) across tree sizes of the dataset-iv family.
 	TransitionRefresh []SnapshotRefresh `json:"transition_refresh"`
+	// KernelSweep times every registered GEMM kernel on the NT shapes
+	// the likelihood computation issues (single-thread ns/op; all
+	// kernels are bit-exact, so this is pure speed).
+	KernelSweep []SnapshotKernelShape `json:"kernel_sweep"`
+}
+
+// SnapshotKernelShape mirrors KernelShapeResult with JSON-stable units.
+type SnapshotKernelShape struct {
+	M       int                    `json:"m"`
+	N       int                    `json:"n"`
+	K       int                    `json:"k"`
+	Kernels []SnapshotKernelTiming `json:"kernels"`
+}
+
+// SnapshotKernelTiming is one kernel's timing on one shape.
+type SnapshotKernelTiming struct {
+	Kernel         string  `json:"kernel"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	PackedNsPerOp  int64   `json:"packed_ns_per_op"`
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
 }
 
 // SnapshotEval mirrors ParallelSweep with JSON-stable units.
@@ -111,6 +131,20 @@ func RecordSnapshot(workerCounts []int, species []int, evals int) (*Snapshot, er
 			})
 		}
 		snap.TransitionRefresh = append(snap.TransitionRefresh, ref)
+	}
+
+	ks := RunKernelSweep(nil, 64*evals)
+	for _, sh := range ks.Shapes {
+		rec := SnapshotKernelShape{M: sh.M, N: sh.N, K: sh.K}
+		for _, kt := range sh.Timings {
+			rec.Kernels = append(rec.Kernels, SnapshotKernelTiming{
+				Kernel:         kt.Kernel,
+				NsPerOp:        kt.NsPerOp,
+				PackedNsPerOp:  kt.PackedNs,
+				SpeedupVsNaive: kt.SpeedupVsNaive,
+			})
+		}
+		snap.KernelSweep = append(snap.KernelSweep, rec)
 	}
 	return snap, nil
 }

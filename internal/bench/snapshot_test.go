@@ -31,6 +31,14 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if len(snap.TransitionRefresh) != 1 || snap.TransitionRefresh[0].SerialNs <= 0 {
 		t.Fatalf("transition sweep missing: %+v", snap.TransitionRefresh)
 	}
+	if len(snap.KernelSweep) != len(KernelShapes) {
+		t.Fatalf("kernel sweep has %d shapes, want %d", len(snap.KernelSweep), len(KernelShapes))
+	}
+	for _, sh := range snap.KernelSweep {
+		if len(sh.Kernels) < 2 || sh.Kernels[0].Kernel != "naive" || sh.Kernels[0].NsPerOp <= 0 {
+			t.Fatalf("kernel sweep shape %dx%dx%d incomplete: %+v", sh.M, sh.N, sh.K, sh.Kernels)
+		}
+	}
 	var buf bytes.Buffer
 	if err := snap.Write(&buf); err != nil {
 		t.Fatal(err)
@@ -48,7 +56,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 // when BENCH_SNAPSHOT names the output path — the recording procedure
 // documented in docs/OPERATIONS.md:
 //
-//	BENCH_SNAPSHOT=BENCH_fanout.json go test ./internal/bench -run TestRecordBenchSnapshot
+//	BENCH_SNAPSHOT=$PWD/BENCH_fanout.json go test ./internal/bench -run TestRecordBenchSnapshot
 func TestRecordBenchSnapshot(t *testing.T) {
 	out := os.Getenv("BENCH_SNAPSHOT")
 	if out == "" {

@@ -1,0 +1,101 @@
+package blas
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestKernelRegistry(t *testing.T) {
+	names := KernelNames()
+	if len(names) < 2 || names[0] != "naive" {
+		t.Fatalf("KernelNames() = %v, want naive first plus at least one optimized kernel", names)
+	}
+	for i := 2; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("KernelNames() = %v, want name-sorted after naive", names)
+		}
+	}
+	if _, ok := KernelByName("blocked"); !ok {
+		t.Fatal("blocked kernel not registered")
+	}
+	if _, ok := KernelByName("no-such-kernel"); ok {
+		t.Fatal("KernelByName returned a kernel for an unknown name")
+	}
+}
+
+func TestSetKernel(t *testing.T) {
+	prev := ActiveKernel().Name()
+	defer func() {
+		if err := SetKernel(prev); err != nil {
+			t.Fatalf("restore kernel %q: %v", prev, err)
+		}
+	}()
+
+	if err := SetKernel("no-such-kernel"); err == nil {
+		t.Fatal("SetKernel accepted an unknown kernel name")
+	} else if ActiveKernel().Name() != prev {
+		t.Fatalf("failed SetKernel changed the active kernel to %q", ActiveKernel().Name())
+	}
+	for _, name := range KernelNames() {
+		if err := SetKernel(name); err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		if got := ActiveKernel().Name(); got != name {
+			t.Fatalf("ActiveKernel() = %q after SetKernel(%q)", got, name)
+		}
+	}
+}
+
+func TestDgemmNTRowsPackedUnpackedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DgemmNTRowsPacked with an unpacked PackedB did not panic")
+		}
+	}()
+	c := mat.New(1, 1)
+	a := mat.New(1, 0)
+	DgemmNTRowsPacked(1, a, &PackedB{}, 0, c, 0, 1)
+}
+
+// TestKernelConcurrentUse drives every kernel the way the parallel
+// engine does — many goroutines computing disjoint row ranges of a
+// shared C against a shared A and one shared PackedB, plus unpacked
+// calls exercising the scratch pools concurrently — and checks the
+// result is bit-identical to a serial full-range call. Run under
+// -race this doubles as the data-race check for the pool scratch.
+func TestKernelConcurrentUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const m, n, k, workers = 128, 61, 61, 8
+	a := strided(rng, m, k, 0)
+	b := strided(rng, n, k, 0)
+	for _, kr := range Kernels() {
+		want := mat.New(m, n)
+		kr.DgemmNTRows(1, a, b, 0, want, 0, m)
+		var pb PackedB
+		kr.PackB(b, &pb)
+
+		gotPacked := mat.New(m, n)
+		gotUnpacked := mat.New(m, n)
+		var wg sync.WaitGroup
+		chunk := (m + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > m {
+				hi = m
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				kr.DgemmNTRowsPacked(1, a, &pb, 0, gotPacked, lo, hi)
+				kr.DgemmNTRows(1, a, b, 0, gotUnpacked, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		requireBitEqual(t, gotPacked, want, "kernel %s concurrent packed", kr.Name())
+		requireBitEqual(t, gotUnpacked, want, "kernel %s concurrent unpacked", kr.Name())
+	}
+}

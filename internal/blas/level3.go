@@ -42,7 +42,9 @@ func Dgemm(transA, transB bool, alpha float64, a, b *mat.Matrix, beta float64, c
 	case !transA && !transB:
 		gemmNN(alpha, a, b, c)
 	case !transA && transB:
-		gemmNT(alpha, a, b, c)
+		// The N·Tᵀ shape dispatches through the runtime kernel seam
+		// (C is already β-scaled above, so accumulate with β = 1).
+		ActiveKernel().DgemmNT(alpha, a, b, 1, c)
 	case transA && !transB:
 		gemmTN(alpha, a, b, c)
 	default:
@@ -120,45 +122,6 @@ func gemmNN(alpha float64, a, b, c *mat.Matrix) {
 	}
 }
 
-// gemmNT: C += α·A·Bᵀ. Element (i,j) is a dot product of two
-// contiguous rows, computed in 2×2 tiles to reuse loaded rows.
-func gemmNT(alpha float64, a, b, c *mat.Matrix) {
-	m, n := a.Rows, b.Rows
-	i := 0
-	for ; i+2 <= m; i += 2 {
-		a0, a1 := a.Row(i), a.Row(i+1)
-		c0, c1 := c.Row(i), c.Row(i+1)
-		j := 0
-		for ; j+2 <= n; j += 2 {
-			b0, b1 := b.Row(j), b.Row(j+1)
-			var s00, s01, s10, s11 float64
-			for p, av0 := range a0 {
-				av1 := a1[p]
-				bv0, bv1 := b0[p], b1[p]
-				s00 += av0 * bv0
-				s01 += av0 * bv1
-				s10 += av1 * bv0
-				s11 += av1 * bv1
-			}
-			c0[j] += alpha * s00
-			c0[j+1] += alpha * s01
-			c1[j] += alpha * s10
-			c1[j+1] += alpha * s11
-		}
-		for ; j < n; j++ {
-			brow := b.Row(j)
-			c0[j] += alpha * Ddot(a0, brow)
-			c1[j] += alpha * Ddot(a1, brow)
-		}
-	}
-	for ; i < m; i++ {
-		arow, crow := a.Row(i), c.Row(i)
-		for j := 0; j < n; j++ {
-			crow[j] += alpha * Ddot(arow, b.Row(j))
-		}
-	}
-}
-
 // gemmTN: C += α·Aᵀ·B. Processed as rank-1 updates streaming through
 // rows of A and B.
 func gemmTN(alpha float64, a, b, c *mat.Matrix) {
@@ -182,72 +145,6 @@ func gemmTT(alpha float64, a, b, c *mat.Matrix) {
 			for i := 0; i < m; i++ {
 				c.Data[i*c.Stride+j] += v * arow[i]
 			}
-		}
-	}
-}
-
-// DgemmNTRows computes rows [lo, hi) of C ← α·A·Bᵀ + βC, the
-// sub-range entry point the likelihood engine's pattern-block tiles
-// use: each block of site patterns (rows of A and C) is pushed through
-// the same transition matrix B independently.
-//
-// Unlike Dgemm's 2×2-tiled gemmNT, every output row is computed by an
-// identical per-row kernel whose floating-point operation order does
-// not depend on lo, hi, or which rows share a tile. Splitting the row
-// range across any number of concurrent calls therefore produces
-// results bit-identical to one full-range call — the property the
-// parallel engine's determinism guarantee rests on.
-func DgemmNTRows(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix, lo, hi int) {
-	m, k := a.Rows, a.Cols
-	n, kb := b.Rows, b.Cols
-	if k != kb {
-		panic("blas: DgemmNTRows inner dimension mismatch")
-	}
-	if c.Rows != m || c.Cols != n {
-		panic("blas: DgemmNTRows output dimension mismatch")
-	}
-	if lo < 0 || hi > m || lo > hi {
-		panic("blas: DgemmNTRows row range out of bounds")
-	}
-	for i := lo; i < hi; i++ {
-		crow := c.Row(i)
-		if beta == 0 {
-			for j := range crow {
-				crow[j] = 0
-			}
-		} else if beta != 1 {
-			for j := range crow {
-				crow[j] *= beta
-			}
-		}
-	}
-	if alpha == 0 || k == 0 {
-		return
-	}
-	for i := lo; i < hi; i++ {
-		arow, crow := a.Row(i), c.Row(i)
-		// Pair the rows of B (columns of C) so each loaded element of
-		// A serves two accumulators; the accumulation over p stays
-		// strictly sequential, keeping the row result independent of
-		// the surrounding range.
-		j := 0
-		for ; j+2 <= n; j += 2 {
-			b0, b1 := b.Row(j), b.Row(j+1)
-			var s0, s1 float64
-			for p, av := range arow {
-				s0 += av * b0[p]
-				s1 += av * b1[p]
-			}
-			crow[j] += alpha * s0
-			crow[j+1] += alpha * s1
-		}
-		for ; j < n; j++ {
-			brow := b.Row(j)
-			var s float64
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] += alpha * s
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package blas
+
+import "repro/internal/mat"
+
+// naiveKernel is the registry's reference implementation: plain
+// per-element loops in the canonical accumulation order every kernel
+// must reproduce bit-exactly — one scalar accumulator per output
+// element, summed over k in ascending order, α applied once to the
+// finished sum. It is always registered, so a misbehaving optimized
+// kernel can be sidestepped at runtime (-kernel naive) and the
+// conformance suite always has its oracle.
+type naiveKernel struct{}
+
+func (naiveKernel) Name() string { return "naive" }
+
+func (nk naiveKernel) DgemmNT(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
+	nk.DgemmNTRows(alpha, a, b, beta, c, 0, a.Rows)
+}
+
+func (naiveKernel) DgemmNTRows(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix, lo, hi int) {
+	scaleRows(beta, c, lo, hi)
+	if alpha == 0 || a.Cols == 0 {
+		return
+	}
+	n := b.Rows
+	for i := lo; i < hi; i++ {
+		arow, crow := a.Row(i), c.Row(i)
+		for j := 0; j < n; j++ {
+			brow := b.Row(j)
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += alpha * s
+		}
+	}
+}
+
+// PackB snapshots B as a compact row-major copy — no layout change,
+// but the same snapshot semantics as every other kernel (mutating b
+// afterwards does not affect the pack).
+func (nk naiveKernel) PackB(b *mat.Matrix, pb *PackedB) {
+	n, k := b.Rows, b.Cols
+	buf := pb.grow(n * k)
+	for j := 0; j < n; j++ {
+		copy(buf[j*k:(j+1)*k], b.Row(j))
+	}
+	pb.owner, pb.rows, pb.depth = nk, n, k
+}
+
+func (naiveKernel) DgemmNTRowsPacked(alpha float64, a *mat.Matrix, pb *PackedB, beta float64, c *mat.Matrix, lo, hi int) {
+	scaleRows(beta, c, lo, hi)
+	if alpha == 0 || pb.depth == 0 {
+		return
+	}
+	n, k := pb.rows, pb.depth
+	for i := lo; i < hi; i++ {
+		arow, crow := a.Row(i), c.Row(i)
+		for j := 0; j < n; j++ {
+			brow := pb.buf[j*k : (j+1)*k]
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += alpha * s
+		}
+	}
+}

@@ -68,8 +68,9 @@ type Decomposition struct {
 	pi        []float64
 	sqrtPi    []float64
 	invSqrtPi []float64
-	lambda    []float64   // eigenvalues of A, ascending
-	x         *mat.Matrix // eigenvectors of A (columns)
+	lambda    []float64     // eigenvalues of A, ascending
+	x         *mat.Matrix   // eigenvectors of A (columns)
+	xp        *blas.PackedB // X packed once for the repeated Ỹ·Xᵀ products
 }
 
 // Workspace holds the scratch matrices one goroutine needs to build
@@ -194,6 +195,10 @@ func Decompose(s *mat.Matrix, pi []float64) (*Decomposition, error) {
 	}
 	d.lambda = eig.Values
 	d.x = eig.Vectors
+	// Pack X once: every PMatrix call reuses it as the B operand of
+	// Eq. 9's Ỹ·Xᵀ, so the per-call packing cost of the blocked kernel
+	// is paid here, once per decomposition, instead of once per branch.
+	d.xp = blas.PackNT(d.x, nil)
 	return d, nil
 }
 
@@ -225,7 +230,7 @@ func (d *Decomposition) PMatrix(t float64, method Method, dst *mat.Matrix, ws *W
 		ws.y.CopyFrom(d.x)
 		ws.y.ScaleCols(ws.d)
 		if method == MethodGEMM {
-			blas.Dgemm(false, true, 1, ws.y, d.x, 0, ws.z)
+			blas.DgemmNTPacked(1, ws.y, d.xp, 0, ws.z)
 		} else {
 			blas.NaiveGemm(false, true, 1, ws.y, d.x, 0, ws.z)
 		}

@@ -204,8 +204,12 @@ type Engine struct {
 
 	// trans[v][w] is the transition matrix (or symmetric kernel in
 	// SYMV mode) of branch v for rate slot w; nil when the class
-	// mapping never needs it.
-	trans [][]*mat.Matrix
+	// mapping never needs it. In bundled-apply mode transPack[v][w]
+	// additionally holds the matrix packed for the NT kernel seam, so
+	// the many per-tile × per-class products against the same branch
+	// matrix skip the per-call packing cost.
+	trans     [][]*mat.Matrix
+	transPack [][]*blas.PackedB
 
 	// msg[class][v] is P_v·partial(v) per pattern (rows = patterns);
 	// scale[class][v][pat] accumulates the log-scaling of the subtree.
@@ -220,6 +224,7 @@ type Engine struct {
 	// destination of the root scale so its location does not depend on
 	// the path's parity.
 	scrTrans     []*mat.Matrix
+	scrTransPack []*blas.PackedB
 	scrMsg       []*mat.Matrix
 	scrMsg2      []*mat.Matrix
 	scrPartial   []*mat.Matrix
@@ -359,12 +364,16 @@ func (e *Engine) ensureBuffers(numClasses, numSlots int) {
 	if numSlots != e.numSlots {
 		e.numSlots = numSlots
 		e.trans = make([][]*mat.Matrix, len(e.nodes))
+		e.transPack = make([][]*blas.PackedB, len(e.nodes))
 		for v := range e.trans {
 			e.trans[v] = make([]*mat.Matrix, numSlots)
+			e.transPack[v] = make([]*blas.PackedB, numSlots)
 		}
 		e.scrTrans = make([]*mat.Matrix, numSlots)
+		e.scrTransPack = make([]*blas.PackedB, numSlots)
 		for w := range e.scrTrans {
 			e.scrTrans[w] = mat.New(e.n, e.n)
+			e.scrTransPack[w] = &blas.PackedB{}
 		}
 	}
 	if numClasses == e.numClasses {
@@ -566,14 +575,19 @@ type transTask struct {
 	slot int
 	t    float64 // effective time, model scaling already applied
 	dst  *mat.Matrix
+	pack *blas.PackedB // non-nil in bundled mode: re-pack dst after the build
 }
 
 // appendTransTasks appends one task per rate slot branch v needs at
-// branch length t, allocating missing dst matrices (serially, so the
-// parallel phase never mutates the dst slices themselves).
-func (e *Engine) appendTransTasks(tasks []transTask, v int, t float64, dst []*mat.Matrix) []transTask {
+// branch length t, allocating missing dst matrices and pack slots
+// (serially, so the parallel phase never mutates the slices
+// themselves). packs runs parallel to dst; in bundled-apply mode each
+// task also packs its freshly built matrix for the NT kernel seam,
+// amortizing the packing across every downstream tile × class product.
+func (e *Engine) appendTransTasks(tasks []transTask, v int, t float64, dst []*mat.Matrix, packs []*blas.PackedB) []transTask {
 	need := e.neededSlots(v)
 	tEff := e.model.EffectiveTime(t)
+	bundled := e.cfg.Apply == ApplyBundled
 	for w := 0; w < e.numSlots; w++ {
 		if !need[w] {
 			continue
@@ -581,7 +595,14 @@ func (e *Engine) appendTransTasks(tasks []transTask, v int, t float64, dst []*ma
 		if dst[w] == nil {
 			dst[w] = mat.New(e.n, e.n)
 		}
-		tasks = append(tasks, transTask{slot: w, t: tEff, dst: dst[w]})
+		tk := transTask{slot: w, t: tEff, dst: dst[w]}
+		if bundled {
+			if packs[w] == nil {
+				packs[w] = &blas.PackedB{}
+			}
+			tk.pack = packs[w]
+		}
+		tasks = append(tasks, tk)
 	}
 	return tasks
 }
@@ -609,13 +630,18 @@ func (e *Engine) runTransTasks(tasks []transTask) {
 		} else {
 			e.decomps[tk.slot].PMatrix(tk.t, method, tk.dst, ws)
 		}
+		if tk.pack != nil {
+			// Each task owns its pack exclusively, so concurrent
+			// re-packs are race-free like the dst writes.
+			blas.PackNT(tk.dst, tk.pack)
+		}
 	})
 }
 
-// buildTransition fills dst[w] for the omega indices branch v needs at
-// branch length t.
-func (e *Engine) buildTransition(v int, t float64, dst []*mat.Matrix) {
-	e.runTransTasks(e.appendTransTasks(nil, v, t, dst))
+// buildTransition fills dst[w] (and packs[w] in bundled mode) for the
+// omega indices branch v needs at branch length t.
+func (e *Engine) buildTransition(v int, t float64, dst []*mat.Matrix, packs []*blas.PackedB) {
+	e.runTransTasks(e.appendTransTasks(nil, v, t, dst, packs))
 }
 
 // refreshTransitions rebuilds the cached transition matrices of dirty
@@ -629,7 +655,7 @@ func (e *Engine) refreshTransitions() {
 		if v == e.rootID || !e.pDirty[v] {
 			continue
 		}
-		tasks = e.appendTransTasks(tasks, v, e.brLen[v], e.trans[v])
+		tasks = e.appendTransTasks(tasks, v, e.brLen[v], e.trans[v], e.transPack[v])
 		e.pDirty[v] = false
 	}
 	e.runTransTasks(tasks)
@@ -709,7 +735,7 @@ func (e *Engine) pruneClassRange(c, lo, hi int, scratch []float64) {
 		}
 		// Internal: partial into scratch, then propagate.
 		e.computePartial(c, nd, e.scrPartial[c], e.scale[c][v], nil, nil, -1, lo, hi)
-		e.applyBranch(e.trans[v][w], e.scrPartial[c], e.msg[c][v], scratch, lo, hi)
+		e.applyBranch(e.trans[v][w], e.transPack[v][w], e.scrPartial[c], e.msg[c][v], scratch, lo, hi)
 	}
 }
 
@@ -795,8 +821,10 @@ func (e *Engine) leafMessage(tm *mat.Matrix, leafRow int, dst *mat.Matrix, lo, h
 // transition matrix (or symmetric kernel) according to the configured
 // apply mode, writing one message row per pattern. Every mode works
 // row-by-row with a fixed per-row operation order, so any tiling of
-// the pattern range produces bit-identical rows.
-func (e *Engine) applyBranch(tm *mat.Matrix, partial, dst *mat.Matrix, scratch []float64, lo, hi int) {
+// the pattern range produces bit-identical rows. pb, when non-nil, is
+// tm packed for the NT kernel seam (kernels are bit-exact between
+// their packed and unpacked paths, so the fast path changes nothing).
+func (e *Engine) applyBranch(tm *mat.Matrix, pb *blas.PackedB, partial, dst *mat.Matrix, scratch []float64, lo, hi int) {
 	switch e.cfg.Apply {
 	case ApplyPerSiteGEMV:
 		if e.cfg.Kernel == TierNaive {
@@ -819,8 +847,13 @@ func (e *Engine) applyBranch(tm *mat.Matrix, partial, dst *mat.Matrix, scratch [
 		}
 	case ApplyBundled:
 		// dst[p][i] = Σ_j partial[p][j]·P[i][j]: one row-ranged GEMM
-		// over the block's patterns (BLAS-3 bundling).
-		blas.DgemmNTRows(1, partial, tm, 0, dst, lo, hi)
+		// over the block's patterns (BLAS-3 bundling), against the
+		// pre-packed transition matrix when one is available.
+		if pb != nil {
+			blas.DgemmNTRowsPacked(1, partial, pb, 0, dst, lo, hi)
+		} else {
+			blas.DgemmNTRows(1, partial, tm, 0, dst, lo, hi)
+		}
 	default:
 		panic(fmt.Sprintf("lik: unknown apply mode %d", e.cfg.Apply))
 	}
@@ -902,7 +935,7 @@ func (e *Engine) BranchLogLikelihood(v int, t float64) float64 {
 	}
 	e.refreshTransitions()
 	e.stats.BranchEvaluations++
-	e.buildTransition(v, t, e.scrTrans)
+	e.buildTransition(v, t, e.scrTrans, e.scrTransPack)
 
 	if e.pool != nil && len(e.blocks) > 1 {
 		e.pool.Run(len(e.blocks), func(worker, bi int) {
@@ -943,7 +976,7 @@ func (e *Engine) branchWalkRange(v, lo, hi int, scratch []float64) {
 			// partial(v) from the stored children messages; the
 			// message inherits the partial's scale.
 			e.computePartial(c, nd, e.scrPartial[c], msc, nil, nil, -1, lo, hi)
-			e.applyBranch(e.scrTrans[w], e.scrPartial[c], msg, scratch, lo, hi)
+			e.applyBranch(e.scrTrans[w], e.scrTransPack[w], e.scrPartial[c], msg, scratch, lo, hi)
 		}
 
 		child := v
@@ -955,7 +988,7 @@ func (e *Engine) branchWalkRange(v, lo, hi int, scratch []float64) {
 			}
 			uw := e.model.RateSlotFor(c, und.foreground)
 			e.computePartial(c, und, e.scrPartial[c], asc, msg, msc, child, lo, hi)
-			e.applyBranch(e.trans[u][uw], e.scrPartial[c], alt, scratch, lo, hi)
+			e.applyBranch(e.trans[u][uw], e.transPack[u][uw], e.scrPartial[c], alt, scratch, lo, hi)
 			msg, alt = alt, msg
 			msc, asc = asc, msc
 			child = u
