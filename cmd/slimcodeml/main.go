@@ -60,6 +60,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/manifest"
 	"repro/internal/newick"
+	"repro/internal/persistcache"
 )
 
 func main() {
@@ -71,6 +72,8 @@ func main() {
 		shard     = flag.String("shard", "", "streaming mode: run only shard i of n (\"i/n\", 1-based) of the manifest rows — one process per shard scales a manifest across machines; JSONL outputs concatenate")
 		resume    = flag.Bool("resume", false, "streaming mode (JSONL -out): checkpoint every gene to <out>.ckpt and continue a killed run from its last checkpoint; rerun the identical command to resume")
 		countCach = flag.String("countcache", "", "streaming mode: sidecar codon-count cache file for the -sharefreq pre-pass (warm cache = metadata-only pass)")
+		cacheDir  = flag.String("cachedir", "", "streaming mode: cross-run warm cache directory — re-runs of already-analyzed rows replay byte-identically with zero fitting; decompositions persist across runs")
+		warmStart = flag.Bool("warmstart", false, "streaming mode (with -cachedir): seed optimizers from the cache's last MLE when a gene's inputs match but options differ (relaxes bit-determinism)")
 		outPath   = flag.String("out", "", "streaming mode: results file (.jsonl or .tsv; empty = TSV on stdout)")
 		outFmt    = flag.String("outfmt", "auto", "streaming output format: jsonl, tsv or auto (by -out extension)")
 		prefetch  = flag.Int("prefetch", 0, "streaming mode: max genes resident at once (0 = 2×jobs)")
@@ -124,6 +127,7 @@ func main() {
 			opts: opts, jobs: *jobs, workers: *workers, prefetch: *prefetch,
 			shareFreq: *shareFreq, shard: *shard, outPath: *outPath,
 			outFmt: *outFmt, resume: *resume, countCache: *countCach,
+			cacheDir: *cacheDir, warmStart: *warmStart,
 		})
 	default:
 		if *shard != "" {
@@ -157,6 +161,8 @@ type streamConfig struct {
 	shard, outPath, outFmt    string
 	resume                    bool
 	countCache                string
+	cacheDir                  string
+	warmStart                 bool
 }
 
 // runStream drives the manifest/directory front end: genes stream
@@ -201,6 +207,14 @@ func runStream(cfg streamConfig) error {
 	if cfg.countCache != "" {
 		counts = manifest.OpenCountCache(cfg.countCache)
 	}
+	var store *persistcache.Store
+	if cfg.cacheDir != "" {
+		if store, err = persistcache.Open(cfg.cacheDir); err != nil {
+			return err
+		}
+	} else if cfg.warmStart {
+		return fmt.Errorf("-warmstart needs -cachedir (the seeds live in the warm cache)")
+	}
 
 	// Ctrl-C / SIGTERM cancel the stream at a gene boundary instead of
 	// leaving prefetched goroutines running mid-write.
@@ -215,6 +229,11 @@ func runStream(cfg streamConfig) error {
 			ShareFrequencies: cfg.shareFreq,
 		},
 		Prefetch: cfg.prefetch,
+	}
+	if store != nil {
+		sopts.Persist = store
+		sopts.PersistFingerprint = checkpoint.OptionsFingerprint(sopts.BatchOptions, afmt)
+		sopts.WarmStart = cfg.warmStart
 	}
 	status := io.Writer(os.Stderr)
 	if cfg.outPath != "" {
@@ -322,8 +341,12 @@ func summaryGenes(summary *core.StreamSummary) int {
 
 // printStreamSummary reports one stream's totals.
 func printStreamSummary(status io.Writer, summary *core.StreamSummary) {
-	fmt.Fprintf(status, "stream: %d genes (%d failed), %.2f s, decomposition cache %d hits / %d misses\n",
-		summary.Genes, summary.Failed, summary.Runtime.Seconds(), summary.CacheHits, summary.CacheMisses)
+	replayed := ""
+	if summary.Replayed > 0 {
+		replayed = fmt.Sprintf(", %d replayed from warm cache", summary.Replayed)
+	}
+	fmt.Fprintf(status, "stream: %d genes (%d failed%s), %.2f s, decomposition cache %d hits / %d misses\n",
+		summary.Genes, summary.Failed, replayed, summary.Runtime.Seconds(), summary.CacheHits, summary.CacheMisses)
 }
 
 // resolveOutFmt maps -outfmt (or the -out extension when auto) to a

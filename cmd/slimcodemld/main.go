@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -51,16 +52,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8710", "HTTP listen address")
-		dataDir = flag.String("data", "slimcodemld-data", "directory for job specs, results and checkpoint ledgers")
-		workers = flag.Int("workers", 0, "shared likelihood pool workers (0 = GOMAXPROCS)")
-		active  = flag.Int("jobs", 1, "jobs running concurrently (each parallelizes across its genes)")
-		queue   = flag.Int("queue", 16, "max jobs waiting to run; submissions beyond it get 503")
-		cache   = flag.Int("cache", 1024, "shared eigendecomposition cache entries")
-		format  = flag.String("format", "auto", "alignment format for job files: fasta, phylip or auto")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight genes")
-		retain  = flag.Duration("retain", 0, "purge done/failed/cancelled jobs (files and all) this long after they finish; 0 keeps them forever")
-		kernel  = flag.String("kernel", "", "GEMM kernel for all jobs (empty = $"+blas.KernelEnv+" or "+blas.DefaultKernel+"; every kernel is bit-exact, results never change)")
+		addr     = flag.String("addr", ":8710", "HTTP listen address")
+		dataDir  = flag.String("data", "slimcodemld-data", "directory for job specs, results and checkpoint ledgers")
+		workers  = flag.Int("workers", 0, "shared likelihood pool workers (0 = GOMAXPROCS)")
+		active   = flag.Int("jobs", 1, "jobs running concurrently (each parallelizes across its genes)")
+		queue    = flag.Int("queue", 16, "max jobs waiting to run; submissions beyond it get 503")
+		cache    = flag.Int("cache", 1024, "shared eigendecomposition cache entries")
+		format   = flag.String("format", "auto", "alignment format for job files: fasta, phylip or auto")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight genes")
+		retain   = flag.Duration("retain", 0, "purge done/failed/cancelled jobs (files and all) this long after they finish; 0 keeps them forever")
+		kernel   = flag.String("kernel", "", "GEMM kernel for all jobs (empty = $"+blas.KernelEnv+" or "+blas.DefaultKernel+"; every kernel is bit-exact, results never change)")
+		cacheDir = flag.String("cachedir", "", "cross-run warm cache directory (empty = <data>/cache, \"off\" disables); survives restarts, never purged by -retain")
 	)
 	flag.Parse()
 	if *kernel != "" {
@@ -69,16 +71,22 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *drain, *retain); err != nil {
+	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *cacheDir, *drain, *retain); err != nil {
 		fmt.Fprintln(os.Stderr, "slimcodemld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, workers, active, queue, cache int, format string, drain, retain time.Duration) error {
+func run(addr, dataDir string, workers, active, queue, cache int, format, cacheDir string, drain, retain time.Duration) error {
 	afmt, err := align.ParseFormat(format)
 	if err != nil {
 		return err
+	}
+	switch cacheDir {
+	case "":
+		cacheDir = filepath.Join(dataDir, "cache")
+	case "off":
+		cacheDir = ""
 	}
 	server, err := serve.New(serve.Config{
 		DataDir:     dataDir,
@@ -88,6 +96,7 @@ func run(addr, dataDir string, workers, active, queue, cache int, format string,
 		CacheSize:   cache,
 		Format:      afmt,
 		Retain:      retain,
+		CacheDir:    cacheDir,
 	})
 	if err != nil {
 		return err

@@ -28,6 +28,23 @@ type Snapshot struct {
 	// the likelihood computation issues (single-thread ns/op; all
 	// kernels are bit-exact, so this is pure speed).
 	KernelSweep []SnapshotKernelShape `json:"kernel_sweep"`
+	// WarmSweep contrasts a cold streaming run with a warm re-run
+	// through the persistent cross-run cache (internal/persistcache).
+	// The recording procedure asserts the warm run replayed every gene
+	// byte-identically with zero eigendecompositions, so the ratio is a
+	// sound single-thread measurement even on a 1-core container.
+	WarmSweep *SnapshotWarm `json:"warm_sweep,omitempty"`
+}
+
+// SnapshotWarm mirrors WarmSweepResult with JSON-stable units.
+type SnapshotWarm struct {
+	Genes            int     `json:"genes"`
+	ColdNs           int64   `json:"cold_ns"`
+	WarmNs           int64   `json:"warm_ns"`
+	ColdEigendecomps int     `json:"cold_eigendecompositions"`
+	WarmEigendecomps int     `json:"warm_eigendecompositions"`
+	Replayed         int     `json:"replayed"`
+	Speedup          float64 `json:"speedup"`
 }
 
 // SnapshotKernelShape mirrors KernelShapeResult with JSON-stable units.
@@ -131,6 +148,20 @@ func RecordSnapshot(workerCounts []int, species []int, evals int) (*Snapshot, er
 			})
 		}
 		snap.TransitionRefresh = append(snap.TransitionRefresh, ref)
+	}
+
+	ws, err := RunWarmSweep(8, 6, 48, 3)
+	if err != nil {
+		return nil, err
+	}
+	snap.WarmSweep = &SnapshotWarm{
+		Genes:            ws.Genes,
+		ColdNs:           ws.Cold.Nanoseconds(),
+		WarmNs:           ws.Warm.Nanoseconds(),
+		ColdEigendecomps: ws.ColdEigendecomps,
+		WarmEigendecomps: ws.WarmEigendecomps,
+		Replayed:         ws.Replayed,
+		Speedup:          ws.Speedup(),
 	}
 
 	ks := RunKernelSweep(nil, 64*evals)

@@ -34,6 +34,10 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if len(snap.KernelSweep) != len(KernelShapes) {
 		t.Fatalf("kernel sweep has %d shapes, want %d", len(snap.KernelSweep), len(KernelShapes))
 	}
+	if ws := snap.WarmSweep; ws == nil || ws.Replayed != ws.Genes ||
+		ws.WarmEigendecomps != 0 || ws.ColdEigendecomps == 0 || ws.Speedup <= 0 {
+		t.Fatalf("warm sweep missing or incoherent: %+v", snap.WarmSweep)
+	}
 	for _, sh := range snap.KernelSweep {
 		if len(sh.Kernels) < 2 || sh.Kernels[0].Kernel != "naive" || sh.Kernels[0].NsPerOp <= 0 {
 			t.Fatalf("kernel sweep shape %dx%dx%d incomplete: %+v", sh.M, sh.N, sh.K, sh.Kernels)

@@ -3,19 +3,16 @@ package checkpoint
 import (
 	"bufio"
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"os"
 
 	"repro/internal/align"
 	"repro/internal/codon"
 	"repro/internal/core"
 	"repro/internal/manifest"
+	"repro/internal/persistcache"
 )
 
 // Plan is a validated resume point: skip the first Skip manifest rows
@@ -89,14 +86,23 @@ func OptionsFingerprint(opts core.BatchOptions, format align.Format) string {
 
 // FrequenciesDigest fingerprints a frequency vector by its exact
 // IEEE-754 bit patterns — equal digests mean bit-identical vectors.
-func FrequenciesDigest(pi []float64) string {
-	h := sha256.New()
-	var b [8]byte
-	for _, v := range pi {
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		h.Write(b[:])
+// (It lives in core, shared with the persistent result store; this
+// alias keeps the historical checkpoint-side name.)
+func FrequenciesDigest(pi []float64) string { return core.FrequenciesDigest(pi) }
+
+// RunFingerprint is the fingerprint a checkpointed run's ledger
+// records: the options fingerprint, plus a warm-start marker when the
+// run opted into persistent-store warm starts. Warm starts relax the
+// determinism contract (a different starting point may change final
+// bits), so a warm run must never resume a cold run's ledger or vice
+// versa; the marker is appended only when set, keeping every existing
+// ledger's fingerprint unchanged.
+func RunFingerprint(opts core.StreamOptions, format align.Format) string {
+	fp := OptionsFingerprint(opts.BatchOptions, format)
+	if opts.WarmStart {
+		fp += " warmstart=true"
 	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return fp
 }
 
 // skipper is the fast path Resume uses when the wrapped source can
@@ -159,6 +165,15 @@ func (r *resumedSource) Reset() error {
 	}
 	r.pos = 0
 	return nil
+}
+
+// AttachPersist forwards the persistent result store to the underlying
+// source (a no-op for sources that do not support one), so a resumed
+// run's remaining genes still replay from / store into the cache.
+func (r *resumedSource) AttachPersist(store *persistcache.Store, fingerprint string, warm bool) {
+	if pa, ok := r.src.(core.PersistAttacher); ok {
+		pa.AttachPersist(store, fingerprint, warm)
+	}
 }
 
 // resumedCountingSource additionally forwards PooledCounts to the

@@ -52,7 +52,13 @@ func Run(ctx context.Context, cfg RunConfig) (*core.StreamSummary, error) {
 	if len(cfg.Entries) == 0 {
 		return nil, fmt.Errorf("checkpoint: Run needs at least one manifest row")
 	}
-	fp := OptionsFingerprint(cfg.Opts.BatchOptions, cfg.Format)
+	fp := RunFingerprint(cfg.Opts, cfg.Format)
+	// A persistent result store keys on the base options fingerprint;
+	// RunBatchStream appends the resolved π digest and the warm-start
+	// marker itself, so the store and the ledger agree on identity.
+	if cfg.Opts.Persist != nil && cfg.Opts.PersistFingerprint == "" {
+		cfg.Opts.PersistFingerprint = OptionsFingerprint(cfg.Opts.BatchOptions, cfg.Format)
+	}
 	ledgerPath := cfg.LedgerFile
 	if ledgerPath == "" {
 		ledgerPath = LedgerPath(cfg.OutPath)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/codon"
 	"repro/internal/newick"
+	"repro/internal/persistcache"
 )
 
 // Gene is one unit of a batch run: an alignment paired with a tree
@@ -33,6 +34,16 @@ type Gene struct {
 	// (ManifestSource). The streaming driver turns it into an error
 	// result for this gene instead of aborting the stream.
 	loadErr error
+
+	// Persistent-store state attached by ManifestSource (nil/zero
+	// elsewhere): a replayed record that makes the fit a no-op, a
+	// warm-start seed, and the identity (manifest row digest + input
+	// file metadata) a fresh fit is stored back under.
+	replay    *GeneRecord
+	seed      *persistcache.WarmSeed
+	rowDigest string
+	fmeta     persistcache.FileMeta
+	haveMeta  bool
 }
 
 // Patterns returns the gene's codon-encoded, pattern-compressed
@@ -79,12 +90,19 @@ type BatchOptions struct {
 	ShareFrequencies bool
 }
 
-// GeneResult is one gene's outcome; exactly one of Result and Err is
-// set.
+// GeneResult is one gene's outcome; exactly one of Result, Err and Rec
+// is set.
 type GeneResult struct {
 	Name   string
 	Result *TestResult
 	Err    error
+	// Rec, when non-nil, is a record replayed verbatim from the
+	// persistent result store: the gene was already analyzed under the
+	// same fingerprint and input files, so no fit ran. Sinks serialize
+	// it via NewGeneRecord exactly as a fresh result — byte-identically,
+	// since Go's JSON encoding round-trips (its runtime_sec is the
+	// stored deterministic projection's zero).
+	Rec *GeneRecord
 }
 
 // BatchResult aggregates a batch run.

@@ -67,6 +67,7 @@ import (
 	"repro/internal/expm"
 	"repro/internal/lik"
 	"repro/internal/optimize"
+	"repro/internal/persistcache"
 )
 
 // likConfig maps the options to the likelihood engine configuration,
@@ -231,6 +232,13 @@ type Options struct {
 	// Shared batch resources, injected by RunBatch.
 	pool    *lik.Pool
 	decomps *lik.DecompCache
+
+	// Cross-run persistence, injected by RunBatchStream (see
+	// StreamOptions.Persist): the store, the finalized fingerprint
+	// results are keyed under, and whether warm starts were opted into.
+	persist   *persistcache.Store
+	persistFP string
+	warmStart bool
 }
 
 func (o *Options) fill() {

@@ -31,8 +31,13 @@ type GeneRecord struct {
 	PositiveSites []SiteSelection `json:"positive_sites,omitempty"`
 }
 
-// NewGeneRecord flattens a GeneResult for serialization.
+// NewGeneRecord flattens a GeneResult for serialization. A replayed
+// result returns its stored record as-is, so the serialization is
+// byte-identical to the run that produced it.
 func NewGeneRecord(r GeneResult) GeneRecord {
+	if r.Rec != nil {
+		return *r.Rec
+	}
 	rec := GeneRecord{Name: r.Name}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()

@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/bsm"
 	"repro/internal/codon"
 	"repro/internal/lik"
+	"repro/internal/persistcache"
 )
 
 // GeneSource yields the genes of a batch one at a time, so a
@@ -100,6 +103,28 @@ type StreamOptions struct {
 	// cache shared across streams; CacheSize is then ignored. The
 	// summary's hit/miss counts report only this stream's deltas.
 	Decomps *lik.DecompCache
+	// Persist, when non-nil, is the cross-run warm cache: sources that
+	// support it (ManifestSource) replay already-stored results
+	// byte-identically instead of fitting, successful fits are stored
+	// back, and — when Decomps is nil — the stream's internal
+	// eigendecomposition cache spills to / reloads from the store.
+	// (An externally owned Decomps attaches its own store via
+	// lik.DecompCache.WithStore.)
+	Persist *persistcache.Store
+	// PersistFingerprint is the options fingerprint store entries are
+	// keyed under — checkpoint.OptionsFingerprint of this run's options.
+	// The stream appends the resolved π digest (and the warm-start
+	// marker) itself, so callers pass the base fingerprint whether or
+	// not shared frequencies are in play.
+	PersistFingerprint string
+	// WarmStart opts into seeding the optimizer from a stored MLE when
+	// only the gene's row digest and input files match (the options
+	// fingerprint does not). This is the one documented relaxation of
+	// the determinism contract: a different starting point may change
+	// the final bits. Replays and stores are keyed under a fingerprint
+	// carrying a warm-start marker, so warm and cold runs never replay
+	// each other's records.
+	WarmStart bool
 }
 
 // StreamSummary aggregates a streaming run; the per-gene results have
@@ -112,7 +137,11 @@ type StreamSummary struct {
 	// CacheHits / CacheMisses report the shared eigendecomposition
 	// cache's effectiveness.
 	CacheHits, CacheMisses int
-	Runtime                time.Duration
+	// Replayed counts genes delivered from the persistent result store
+	// without any fitting (zero optimizer iterations, zero
+	// eigendecompositions).
+	Replayed int
+	Runtime  time.Duration
 }
 
 // RunBatchStream runs the full branch-site test on every gene the
@@ -168,6 +197,9 @@ func RunBatchStream(ctx context.Context, src GeneSource, sink ResultSink, opts S
 			cacheSize = 256
 		}
 		cache = lik.NewDecompCache(cacheSize)
+		if opts.Persist != nil {
+			cache.WithStore(opts.Persist)
+		}
 	}
 	geneOpts.decomps = cache
 	hits0, misses0 := cache.Stats()
@@ -185,6 +217,29 @@ func RunBatchStream(ctx context.Context, src GeneSource, sink ResultSink, opts S
 			return nil, err
 		}
 		geneOpts.Frequencies = pi
+	}
+
+	// With a persistent store attached, finalize the fingerprint results
+	// are keyed under — base options plus the resolved π digest plus the
+	// warm-start marker — and hand the store to the source (replay +
+	// seed lookups) and the per-gene options (storing fits back). The π
+	// component is appended here, after resolution, so checkpointed and
+	// standalone shared-frequency runs key identically; fan-out shards
+	// arrive with π preset and the component already in the base.
+	if opts.Persist != nil {
+		fp := opts.PersistFingerprint
+		if geneOpts.Frequencies != nil && !strings.Contains(fp, " pi=") {
+			fp += " pi=" + FrequenciesDigest(geneOpts.Frequencies)
+		}
+		if opts.WarmStart && !strings.Contains(fp, " warmstart=true") {
+			fp += " warmstart=true"
+		}
+		geneOpts.persist = opts.Persist
+		geneOpts.persistFP = fp
+		geneOpts.warmStart = opts.WarmStart
+		if pa, ok := src.(PersistAttacher); ok {
+			pa.AttachPersist(opts.Persist, fp, opts.WarmStart)
+		}
 	}
 
 	start := time.Now()
@@ -285,6 +340,9 @@ func RunBatchStream(ctx context.Context, src GeneSource, sink ResultSink, opts S
 			if r.Err != nil {
 				sum.Failed++
 			}
+			if r.Rec != nil {
+				sum.Replayed++
+			}
 			<-sem
 		}
 	}
@@ -304,8 +362,16 @@ func RunBatchStream(ctx context.Context, src GeneSource, sink ResultSink, opts S
 }
 
 // runGene executes one gene's full H0-vs-H1 test, reusing the gene's
-// cached encode+compress product when present.
+// cached encode+compress product when present. A gene carrying a
+// replayed record from the persistent store skips the fit entirely —
+// the record is the byte-identical product of an earlier run under the
+// same fingerprint and input files. A gene carrying a warm-start seed
+// fits from the stored MLE; a successful fit with a store attached is
+// persisted back.
 func runGene(g *Gene, opts Options) GeneResult {
+	if g.replay != nil {
+		return GeneResult{Name: g.Name, Rec: g.replay}
+	}
 	res := GeneResult{Name: g.Name}
 	an, err := newGeneAnalysis(g, opts)
 	if err != nil {
@@ -313,12 +379,23 @@ func runGene(g *Gene, opts Options) GeneResult {
 		return res
 	}
 	defer an.Close()
-	r, err := an.Run()
+	var r *TestResult
+	if opts.warmStart && g.seed != nil {
+		r, err = an.RunWarm(bsm.Params{
+			Kappa: g.seed.Kappa, Omega0: g.seed.Omega0, Omega2: g.seed.Omega2,
+			P0: g.seed.P0, P1: g.seed.P1,
+		}, g.seed.BranchLengths)
+	} else {
+		r, err = an.Run()
+	}
 	if err != nil {
 		res.Err = fmt.Errorf("gene %s: %w", g.Name, err)
 		return res
 	}
 	res.Result = r
+	if opts.persist != nil && g.haveMeta {
+		storeResult(&opts, g, res)
+	}
 	return res
 }
 

@@ -1,0 +1,66 @@
+package persistcache
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// FuzzCacheDecode fuzzes both cache-file decoders with arbitrary bytes.
+// The invariant is total robustness: a cache directory is shared,
+// advisory state that any process may have torn, truncated or
+// bit-rotted, so the decoders must reject every malformed input with an
+// error — never panic, never over-allocate on a corrupt header, never
+// return a payload that fails its checksum. CI runs a short -fuzztime
+// smoke on every push; the committed corpus under
+// testdata/fuzz/FuzzCacheDecode seeds the interesting shapes.
+func FuzzCacheDecode(f *testing.F) {
+	// Seed with well-formed entries of both kinds so the fuzzer mutates
+	// from valid structure, plus classic defect shapes.
+	decomp, err := encodeDecompFile(&decompPayload{
+		key: "aa", code: "universal", kappa: 2, omega: 0.5,
+		pi:     []float64{0.25, 0.25, 0.25, 0.25},
+		lambda: []float64{-1, -0.5, -0.25, 0},
+		x:      mat.NewFromSlice(4, 4, make([]float64, 16)),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	result, err := encodeResultFile(&ResultEntry{
+		Row: "bb", Fingerprint: "engine=slim",
+		Record: []byte(`{"name":"g"}`),
+		Seed:   WarmSeed{Kappa: 2, Omega0: 0.1, Omega2: 3, P0: 0.5, P1: 0.3, BranchLengths: []float64{0.1}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(decomp)
+	f.Add(result)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1,"n":1000000000}`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := decodeDecompFile(data); err == nil {
+			// Anything accepted must be internally coherent.
+			n := len(p.pi)
+			if n <= 0 || n > 64 || len(p.lambda) != n || p.x.Rows != n || p.x.Cols != n {
+				t.Fatalf("accepted incoherent decomp payload: n=%d", n)
+			}
+			for _, v := range p.pi {
+				if !(v > 0) || math.IsInf(v, 0) {
+					t.Fatalf("accepted non-positive π %g", v)
+				}
+			}
+		}
+		if e, err := decodeResultFile(data); err == nil {
+			if len(e.Record) == 0 {
+				t.Fatal("accepted result entry with empty record")
+			}
+			if len(e.Seed.BranchLengths) > maxResultLens {
+				t.Fatal("accepted oversized branch-length vector")
+			}
+		}
+	})
+}

@@ -1,0 +1,301 @@
+// Package persistcache is the cross-run warm cache: it persists the
+// two most expensive products of a SlimCodeML run — eigendecompositions
+// and per-gene final results — to a sidecar directory so that daemon
+// restarts and re-runs of already-analyzed manifests are
+// metadata-bound instead of compute-bound.
+//
+// The store holds two tiers of entries, one small file each:
+//
+//   - Decompositions (dir/decomp/<digest>.json): keyed on a sha256
+//     digest of the rate matrix's full identity — genetic code name,
+//     state count, κ, ω, π and the exchangeability matrix S, all by
+//     exact IEEE-754 bits. lik.DecompCache probes the store on an
+//     in-memory miss and writes through on Put (the DecompStore
+//     interface), so a restarted daemon reloads its decompositions
+//     instead of recomputing them. Restored decompositions are
+//     bit-identical to freshly computed ones (see expm.Restore).
+//   - Results (dir/result/<row-digest>.json): keyed on the manifest
+//     row digest, holding the gene's deterministic JSONL record, the
+//     options fingerprint (including the resolved π digest) it was
+//     computed under, the input files' size+mtime, and the H1 MLE. A
+//     full match — fingerprint and file metadata — replays the record
+//     byte-identically with zero optimizer iterations; a row-digest
+//     match alone can seed the optimizer when the caller opted into
+//     warm starts (a documented contract relaxation; see
+//     docs/ARCHITECTURE.md).
+//
+// Every entry follows manifest.CountCache's discipline: writes go
+// through a temp file and atomic rename (concurrent processes sharing
+// a cache directory are last-writer-wins, readers never see a torn
+// file), every entry carries a sha256 checksum over its payload, and
+// any defect on read — missing file, bad JSON, checksum or identity
+// mismatch — is a miss that falls back to recomputation, never a
+// wrong answer. The cache is advisory: deleting the directory costs
+// one cold run.
+package persistcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/codon"
+	"repro/internal/expm"
+)
+
+// Store is a persistent warm cache rooted at one directory. It is safe
+// for concurrent use by multiple goroutines, and multiple processes
+// may share one directory (atomic per-entry writes; last writer wins).
+type Store struct {
+	dir string
+
+	mu sync.Mutex
+	c  Counters
+}
+
+// Counters are the store's cumulative hit/miss/write counts, exposed
+// through the daemon's /healthz so warm-vs-cold behavior is observable
+// without log spelunking.
+type Counters struct {
+	// DecompHits / DecompMisses count persistent-tier probes from the
+	// in-memory DecompCache (an in-memory hit never reaches the store).
+	DecompHits   int `json:"decomp_hits"`
+	DecompMisses int `json:"decomp_misses"`
+	// DecompWrites counts decompositions spilled to disk.
+	DecompWrites int `json:"decomp_writes"`
+	// ResultHits counts full-match result replays; ResultMisses counts
+	// lookups that found no replayable entry.
+	ResultHits   int `json:"result_hits"`
+	ResultMisses int `json:"result_misses"`
+	// WarmHits counts warm-start seeds served on row-digest-only
+	// matches.
+	WarmHits int `json:"warm_hits"`
+	// ResultWrites counts result entries persisted after fits.
+	ResultWrites int `json:"result_writes"`
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "decomp"), filepath.Join(dir, "result")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("persistcache: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Counters returns a snapshot of the cumulative counters.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+// RateDigest fingerprints a rate matrix's full identity: the genetic
+// code's name and state count, κ, ω, π and the exchangeability matrix
+// S, all by exact IEEE-754 bits. Equal digests mean the same symmetric
+// eigenproblem, so a persisted decomposition stored under the digest
+// is valid for any rate that reproduces it (π is additionally verified
+// in full on load, so even a digest collision degrades to a miss).
+func RateDigest(r *codon.Rate) string {
+	h := sha256.New()
+	io.WriteString(h, r.Code.Name())
+	h.Write([]byte{0})
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(r.Pi)))
+	h.Write(b[:])
+	writeBits := func(v float64) {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	writeBits(r.Kappa)
+	writeBits(r.Omega)
+	for _, v := range r.Pi {
+		writeBits(v)
+	}
+	n := r.S.Rows
+	for i := 0; i < n; i++ {
+		for _, v := range r.S.Row(i) {
+			writeBits(v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+func (s *Store) decompPath(key string) string {
+	return filepath.Join(s.dir, "decomp", key+".json")
+}
+
+func (s *Store) resultPath(row string) string {
+	return filepath.Join(s.dir, "result", row+".json")
+}
+
+// Load implements lik.DecompStore: it returns the persisted
+// decomposition for the rate's exact identity, or nil on any miss —
+// absent file, failed decode or checksum, or stored parameters that do
+// not match the rate bit-for-bit.
+func (s *Store) Load(r *codon.Rate) *expm.Decomposition {
+	key := RateDigest(r)
+	data, err := os.ReadFile(s.decompPath(key))
+	if err != nil {
+		s.count(func(c *Counters) { c.DecompMisses++ })
+		return nil
+	}
+	p, err := decodeDecompFile(data)
+	if err != nil || p.key != key || p.code != r.Code.Name() ||
+		p.kappa != r.Kappa || p.omega != r.Omega || !sameVec(p.pi, r.Pi) {
+		s.count(func(c *Counters) { c.DecompMisses++ })
+		return nil
+	}
+	d, err := expm.Restore(p.pi, p.lambda, p.x)
+	if err != nil {
+		s.count(func(c *Counters) { c.DecompMisses++ })
+		return nil
+	}
+	s.count(func(c *Counters) { c.DecompHits++ })
+	return d
+}
+
+// Store implements lik.DecompStore's write-through: it persists the
+// decomposition under the rate's digest, best effort (a write failure
+// costs warmth, never correctness). An existing entry is left alone —
+// it necessarily holds the identical bits.
+func (s *Store) Store(r *codon.Rate, d *expm.Decomposition) {
+	key := RateDigest(r)
+	path := s.decompPath(key)
+	if _, err := os.Stat(path); err == nil {
+		return
+	}
+	data, err := encodeDecompFile(&decompPayload{
+		key: key, code: r.Code.Name(), kappa: r.Kappa, omega: r.Omega,
+		pi: d.Pi(), lambda: d.Eigenvalues(), x: d.Vectors(),
+	})
+	if err != nil {
+		return
+	}
+	if writeAtomic(path, data) == nil {
+		s.count(func(c *Counters) { c.DecompWrites++ })
+	}
+}
+
+// LookupResult returns the stored deterministic JSONL record for the
+// manifest row when everything matches: the options fingerprint and
+// the alignment/tree file size+mtime. The returned bytes replay the
+// gene byte-identically with zero compute.
+func (s *Store) LookupResult(row, fingerprint string, meta FileMeta) ([]byte, bool) {
+	e, err := s.readResult(row)
+	if err != nil || e.Fingerprint != fingerprint || e.Meta != meta {
+		s.count(func(c *Counters) { c.ResultMisses++ })
+		return nil, false
+	}
+	s.count(func(c *Counters) { c.ResultHits++ })
+	return e.Record, true
+}
+
+// LookupSeed returns the stored H1 MLE for the manifest row when the
+// input files still match, regardless of the options fingerprint — the
+// opt-in warm-start relaxation: a different option set's MLE is still
+// a better starting point than a cold draw, but may change final bits.
+func (s *Store) LookupSeed(row string, meta FileMeta) (*WarmSeed, bool) {
+	e, err := s.readResult(row)
+	if err != nil || e.Meta != meta {
+		return nil, false
+	}
+	seed := e.Seed
+	s.count(func(c *Counters) { c.WarmHits++ })
+	return &seed, true
+}
+
+// readResult loads and authenticates the row's entry, verifying the
+// stored row digest matches the file it was found under.
+func (s *Store) readResult(row string) (*ResultEntry, error) {
+	data, err := os.ReadFile(s.resultPath(row))
+	if err != nil {
+		return nil, err
+	}
+	e, err := decodeResultFile(data)
+	if err != nil {
+		return nil, err
+	}
+	if e.Row != row {
+		return nil, fmt.Errorf("persistcache: result entry for row %s found under %s", e.Row, row)
+	}
+	return e, nil
+}
+
+// PutResult persists one gene's result entry, replacing any previous
+// entry for the row (last writer wins). Best effort: a write failure
+// is returned for observability but callers treat it as lost warmth.
+func (s *Store) PutResult(e ResultEntry) error {
+	data, err := encodeResultFile(&e)
+	if err != nil {
+		return fmt.Errorf("persistcache: %w", err)
+	}
+	if err := writeAtomic(s.resultPath(e.Row), data); err != nil {
+		return err
+	}
+	s.count(func(c *Counters) { c.ResultWrites++ })
+	return nil
+}
+
+// StatFile returns the size and mtime identity of one input file.
+func StatFile(path string) (size, mtimeNS int64, ok bool) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, false
+	}
+	return info.Size(), info.ModTime().UnixNano(), true
+}
+
+// writeAtomic writes data to path via a temp file in the same
+// directory and an atomic rename — the CountCache discipline, so
+// concurrent writers are last-writer-wins and readers never observe a
+// torn entry.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("persistcache: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persistcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persistcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persistcache: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) count(f func(*Counters)) {
+	s.mu.Lock()
+	f(&s.c)
+	s.mu.Unlock()
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

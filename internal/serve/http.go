@@ -156,5 +156,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		QueueLen:    len(s.queue),
 		QueueCap:    cap(s.queue),
 		PoolWorkers: s.pool.NumWorkers(),
+		Cache:       s.cacheHealth(),
 	})
 }

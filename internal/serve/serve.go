@@ -51,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lik"
 	"repro/internal/manifest"
+	"repro/internal/persistcache"
 )
 
 // Config sizes the job service.
@@ -74,6 +75,14 @@ type Config struct {
 	// Format selects the alignment format for every job
 	// (default: sniff per file).
 	Format align.Format
+	// CacheDir, when non-empty, roots the cross-run warm cache
+	// (persistcache.Store): eigendecompositions survive daemon restarts
+	// and already-analyzed manifest rows replay byte-identically instead
+	// of refitting. The directory is separate from per-job files by
+	// construction, so purges and retention sweeps never touch it.
+	// Multiple daemons may share one cache directory. Empty disables
+	// persistence.
+	CacheDir string
 	// Retain, when positive, bounds the data directory: finished jobs
 	// (done, failed or cancelled — never interrupted, which resume on
 	// restart) are purged, files and all, once their finish time is
@@ -111,13 +120,30 @@ var ErrJobActive = errors.New("serve: job is still active; cancel it first")
 var ErrUnknownJob = errors.New("serve: unknown job")
 
 // Health is the /healthz wire representation: liveness plus queue
-// occupancy.
+// occupancy and cache effectiveness.
 type Health struct {
 	Status      string `json:"status"` // "ok" or "shutting-down"
 	Jobs        int    `json:"jobs"`
 	QueueLen    int    `json:"queue_len"`
 	QueueCap    int    `json:"queue_cap"`
 	PoolWorkers int    `json:"pool_workers"`
+	// Cache reports the shared eigendecomposition cache and — when a
+	// cache directory is configured — the persistent store's counters,
+	// so warm-vs-cold behavior is observable without log spelunking.
+	Cache *CacheHealth `json:"cache,omitempty"`
+}
+
+// CacheHealth is the cache section of the /healthz payload.
+type CacheHealth struct {
+	// DecompEntries / DecompHits / DecompMisses report the in-memory
+	// eigendecomposition cache (lik.DecompCache.Stats), cumulative over
+	// the daemon's lifetime.
+	DecompEntries int `json:"decomp_entries"`
+	DecompHits    int `json:"decomp_hits"`
+	DecompMisses  int `json:"decomp_misses"`
+	// Persist holds the persistent store's hit/miss/write counters;
+	// absent when no cache directory is configured.
+	Persist *persistcache.Counters `json:"persist,omitempty"`
 }
 
 // JobSpec is a submitted analysis: a manifest plus the
@@ -152,6 +178,16 @@ type JobSpec struct {
 	// concurrency).
 	Concurrency int `json:"concurrency,omitempty"`
 	Prefetch    int `json:"prefetch,omitempty"`
+	// WarmStart opts this job into warm-starting the optimizer from the
+	// persistent store's last MLE when a gene's row digest and input
+	// files match but its options fingerprint does not — the fleet
+	// cache hint a coordinator ships to the daemons it fans out to.
+	// Documented contract relaxation: a different starting point may
+	// change final bits, so warm jobs checkpoint (and cache) under a
+	// fingerprint carrying a warm-start marker and never resume or
+	// replay a cold run's records. No-op on a daemon without a cache
+	// directory.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 // Job states.
@@ -249,6 +285,7 @@ type Server struct {
 	cfg   Config
 	pool  *lik.Pool
 	cache *lik.DecompCache
+	store *persistcache.Store // nil without Config.CacheDir
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -282,6 +319,18 @@ func New(cfg Config) (*Server, error) {
 		jobs:  make(map[string]*Job),
 		quit:  make(chan struct{}),
 	}
+	if cfg.CacheDir != "" {
+		store, err := persistcache.Open(cfg.CacheDir)
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.store = store
+		// In-memory cache misses fall through to the persistent tier, so
+		// a restarted daemon reloads its decompositions instead of
+		// recomputing them.
+		s.cache.WithStore(store)
+	}
 	recovered, err := s.recover()
 	if err != nil {
 		s.pool.Close()
@@ -310,7 +359,9 @@ func New(cfg Config) (*Server, error) {
 // collecting shards, or the -retain sweep) bound the data directory,
 // which otherwise grows one results+ledger(+counts) triple per job
 // forever. Queued and running jobs are refused with ErrJobActive;
-// cancel them first.
+// cancel them first. The cross-run cache (Config.CacheDir) is never
+// touched: purging removes exactly the four per-job paths, and cache
+// files live in their own directory tree.
 func (s *Server) Purge(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -396,6 +447,21 @@ func (s *Server) sweepExpired() {
 	for _, id := range expired {
 		s.Purge(id) // best effort; a failed removal is retried next sweep
 	}
+}
+
+// cacheHealth snapshots the cache counters for /healthz.
+func (s *Server) cacheHealth() *CacheHealth {
+	hits, misses := s.cache.Stats()
+	ch := &CacheHealth{
+		DecompEntries: s.cache.Len(),
+		DecompHits:    hits,
+		DecompMisses:  misses,
+	}
+	if s.store != nil {
+		c := s.store.Counters()
+		ch.Persist = &c
+	}
+	return ch
 }
 
 // Jobs returns every job's status in submission order.
@@ -697,9 +763,11 @@ func (s *Server) resolveSpec(spec JobSpec) ([]manifest.Entry, core.StreamOptions
 			// PoolWorkers is ignored: the stream runs on the shared
 			// pool below.
 		},
-		Prefetch: spec.Prefetch,
-		Pool:     s.pool,
-		Decomps:  s.cache,
+		Prefetch:  spec.Prefetch,
+		Pool:      s.pool,
+		Decomps:   s.cache,
+		Persist:   s.store, // nil without a cache dir
+		WarmStart: spec.WarmStart,
 	}
 	if n := len(spec.Frequencies); n > 0 {
 		if want := codon.Universal.NumStates(); n != want {
@@ -787,7 +855,7 @@ func (s *Server) recoverJob(id string) (*Job, bool, error) {
 	if err != nil {
 		return job, false, err
 	}
-	plan, err := ledger.Plan(entries, checkpoint.OptionsFingerprint(opts.BatchOptions, s.cfg.Format))
+	plan, err := ledger.Plan(entries, checkpoint.RunFingerprint(opts, s.cfg.Format))
 	ledger.Close()
 	if err != nil {
 		return job, false, err

@@ -1,0 +1,115 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestServeWarmCacheAcrossRestart is the fleet-tier acceptance check: a
+// daemon with a -cachedir analyzes a manifest, is torn down, and a
+// fresh daemon (new data directory, same cache directory) re-runs the
+// same job — the second run replays every gene from the warm cache,
+// byte-identical, and /healthz exposes the hit counters through the
+// typed client.
+func TestServeWarmCacheAcrossRestart(t *testing.T) {
+	cacheDir := t.TempDir()
+	maniPath, _ := simManifest(t, 4, 9700)
+	spec := serve.JobSpec{ManifestPath: maniPath, MaxIter: 1, Seed: 1}
+
+	runOnce := func() []byte {
+		srv, err := serve.New(serve.Config{
+			DataDir:     t.TempDir(),
+			PoolWorkers: 2,
+			MaxActive:   1,
+			QueueDepth:  4,
+			CacheDir:    cacheDir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Shutdown(context.Background())
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		st := postJob(t, ts.URL, spec)
+		st = pollUntil(t, ts.URL, st.ID, func(s serve.Status) bool { return s.State == serve.StateDone }, "done")
+		if st.Failed != 0 {
+			t.Fatalf("job finished with %d failed genes", st.Failed)
+		}
+		results := fetchResults(t, ts.URL, st.ID)
+
+		health, err := serve.NewClient(ts.URL).Health(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if health.Cache == nil || health.Cache.Persist == nil {
+			t.Fatal("healthz of a daemon with a cache dir reports no cache section")
+		}
+		t.Logf("cache health: %+v persist: %+v", *health.Cache, *health.Cache.Persist)
+		return results
+	}
+
+	cold := runOnce()
+	warm := runOnce()
+	if !bytes.Equal(warm, cold) {
+		t.Fatal("warm daemon run is not byte-identical to the cold run")
+	}
+
+	// Verify the warm daemon actually replayed: a third daemon's health
+	// counters after one fully-warm job must show 4 result hits.
+	srv, err := serve.New(serve.Config{
+		DataDir:     t.TempDir(),
+		PoolWorkers: 2,
+		MaxActive:   1,
+		QueueDepth:  4,
+		CacheDir:    cacheDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	st := postJob(t, ts.URL, spec)
+	pollUntil(t, ts.URL, st.ID, func(s serve.Status) bool { return s.State == serve.StateDone }, "done")
+	health, err := serve.NewClient(ts.URL).Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Cache == nil || health.Cache.Persist == nil || health.Cache.Persist.ResultHits != 4 {
+		t.Fatalf("warm daemon scored no full replay: %+v", health.Cache)
+	}
+}
+
+// TestServeWithoutCacheDir pins the default-off behavior: no CacheDir
+// means no cache persistence and no persist section in /healthz, while
+// the in-memory decomposition counters still report.
+func TestServeWithoutCacheDir(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		DataDir:     t.TempDir(),
+		PoolWorkers: 1,
+		MaxActive:   1,
+		QueueDepth:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	health, err := serve.NewClient(ts.URL).Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Cache == nil {
+		t.Fatal("healthz reports no cache section")
+	}
+	if health.Cache.Persist != nil {
+		t.Fatal("healthz reports persistent counters without a cache dir")
+	}
+}
