@@ -1,0 +1,60 @@
+// Command promcheck validates a Prometheus text exposition against the
+// hand-rolled conformance checker in internal/obs: HELP/TYPE
+// announcements, label escaping, histogram bucket monotonicity and the
+// +Inf/_sum/_count invariants. It reads from a file, an http(s) URL
+// (a live /metrics endpoint), or stdin when no argument is given, and
+// exits non-zero on the first violation — CI scrapes a running
+// slimcodemld through it.
+//
+// Usage:
+//
+//	promcheck [file | http://host:port/metrics]
+//	curl -s host:8710/metrics | promcheck
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	data, src, err := read(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	if err := obs.CheckExposition(data); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: ok (%d bytes)\n", src, len(data))
+}
+
+func read(args []string) ([]byte, string, error) {
+	switch {
+	case len(args) > 1:
+		return nil, "", fmt.Errorf("at most one argument (file or URL); got %d", len(args))
+	case len(args) == 0:
+		data, err := io.ReadAll(os.Stdin)
+		return data, "stdin", err
+	case strings.HasPrefix(args[0], "http://") || strings.HasPrefix(args[0], "https://"):
+		resp, err := http.Get(args[0])
+		if err != nil {
+			return nil, args[0], err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, args[0], fmt.Errorf("answered %s", resp.Status)
+		}
+		data, err := io.ReadAll(resp.Body)
+		return data, args[0], err
+	default:
+		data, err := os.ReadFile(args[0])
+		return data, args[0], err
+	}
+}

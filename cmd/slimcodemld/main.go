@@ -19,6 +19,15 @@
 //	DELETE /jobs/{id}             cancel
 //	DELETE /jobs/{id}?purge=1     purge a finished job and its files
 //	GET    /healthz               liveness + queue occupancy
+//	GET    /metrics               Prometheus text exposition
+//
+// Observability: /metrics exposes HTTP, job-lifecycle, queue, cache
+// and per-gene fit-latency series (see docs/OPERATIONS.md for a scrape
+// config and example queries); -logfmt switches the structured event
+// log between human-readable text and JSON; -pprof additionally mounts
+// net/http/pprof's profiling handlers under /debug/pprof/ (off by
+// default — profiling endpoints are opt-in, not something to expose on
+// an open port by accident).
 //
 // The data directory grows one results+ledger pair per job; -retain
 // bounds it by purging done/failed/cancelled jobs once they have been
@@ -37,8 +46,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -47,22 +57,25 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/blas"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8710", "HTTP listen address")
-		dataDir  = flag.String("data", "slimcodemld-data", "directory for job specs, results and checkpoint ledgers")
-		workers  = flag.Int("workers", 0, "shared likelihood pool workers (0 = GOMAXPROCS)")
-		active   = flag.Int("jobs", 1, "jobs running concurrently (each parallelizes across its genes)")
-		queue    = flag.Int("queue", 16, "max jobs waiting to run; submissions beyond it get 503")
-		cache    = flag.Int("cache", 1024, "shared eigendecomposition cache entries")
-		format   = flag.String("format", "auto", "alignment format for job files: fasta, phylip or auto")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight genes")
-		retain   = flag.Duration("retain", 0, "purge done/failed/cancelled jobs (files and all) this long after they finish; 0 keeps them forever")
-		kernel   = flag.String("kernel", "", "GEMM kernel for all jobs (empty = $"+blas.KernelEnv+" or "+blas.DefaultKernel+"; every kernel is bit-exact, results never change)")
-		cacheDir = flag.String("cachedir", "", "cross-run warm cache directory (empty = <data>/cache, \"off\" disables); survives restarts, never purged by -retain")
+		addr      = flag.String("addr", ":8710", "HTTP listen address")
+		dataDir   = flag.String("data", "slimcodemld-data", "directory for job specs, results and checkpoint ledgers")
+		workers   = flag.Int("workers", 0, "shared likelihood pool workers (0 = GOMAXPROCS)")
+		active    = flag.Int("jobs", 1, "jobs running concurrently (each parallelizes across its genes)")
+		queue     = flag.Int("queue", 16, "max jobs waiting to run; submissions beyond it get 503")
+		cache     = flag.Int("cache", 1024, "shared eigendecomposition cache entries")
+		format    = flag.String("format", "auto", "alignment format for job files: fasta, phylip or auto")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight genes")
+		retain    = flag.Duration("retain", 0, "purge done/failed/cancelled jobs (files and all) this long after they finish; 0 keeps them forever")
+		kernel    = flag.String("kernel", "", "GEMM kernel for all jobs (empty = $"+blas.KernelEnv+" or "+blas.DefaultKernel+"; every kernel is bit-exact, results never change)")
+		cacheDir  = flag.String("cachedir", "", "cross-run warm cache directory (empty = <data>/cache, \"off\" disables); survives restarts, never purged by -retain")
+		logFmt    = flag.String("logfmt", "text", "structured log format on stderr: text or json")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 	if *kernel != "" {
@@ -71,13 +84,18 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *cacheDir, *drain, *retain); err != nil {
+	logger, err := obs.NewLogger(os.Stderr, *logFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slimcodemld:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *cacheDir, *drain, *retain, logger, *withPprof); err != nil {
 		fmt.Fprintln(os.Stderr, "slimcodemld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, workers, active, queue, cache int, format, cacheDir string, drain, retain time.Duration) error {
+func run(addr, dataDir string, workers, active, queue, cache int, format, cacheDir string, drain, retain time.Duration, logger *slog.Logger, withPprof bool) error {
 	afmt, err := align.ParseFormat(format)
 	if err != nil {
 		return err
@@ -97,18 +115,32 @@ func run(addr, dataDir string, workers, active, queue, cache int, format, cacheD
 		Format:      afmt,
 		Retain:      retain,
 		CacheDir:    cacheDir,
+		Log:         logger,
 	})
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: server.Handler()}
+	// The API (with /metrics) is the root handler; the profiling
+	// endpoints are mounted only with -pprof, by explicit registration —
+	// never via net/http/pprof's DefaultServeMux side effect, which
+	// would expose them unconditionally.
+	mux := http.NewServeMux()
+	mux.Handle("/", server.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("slimcodemld: serving on %s (data %s)", addr, dataDir)
+		logger.Info("serving", "addr", addr, "data", dataDir, "pprof", withPprof)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}
@@ -120,13 +152,13 @@ func run(addr, dataDir string, workers, active, queue, cache int, format, cacheD
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("slimcodemld: shutting down (checkpointing in-flight jobs, %s budget)", drain)
+	logger.Info("signal received; checkpointing in-flight jobs", "drain", drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	httpSrv.Shutdown(shutCtx)
 	if err := server.Shutdown(shutCtx); err != nil {
 		return err
 	}
-	log.Printf("slimcodemld: stopped; resume jobs by restarting with -data %s", dataDir)
+	logger.Info("stopped; restart with the same -data to resume jobs", "data", dataDir)
 	return nil
 }

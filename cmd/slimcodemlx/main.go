@@ -30,6 +30,12 @@
 // byte for byte. -purge deletes each shard's job from its daemon once
 // the shard is safely merged, so a completed fan-out leaves the
 // fleet's data directories empty (see also slimcodemld -retain).
+//
+// Observability: -metrics-addr serves the coordinator's own Prometheus
+// /metrics (shard-phase and endpoint-health gauges, resubmission
+// counters, poll latency) on a separate listener, and -logfmt emits
+// the shard/endpoint lifecycle as structured text or JSON events on
+// stderr — see docs/OPERATIONS.md.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,33 +52,36 @@ import (
 
 	"repro/internal/fanout"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		maniPath   = flag.String("manifest", "", "manifest file with one 'name alignment-path tree-path' row per gene")
-		dirPath    = flag.String("dir", "", "directory pairing NAME.{fasta,fa,fna,phy,phylip} with NAME.{nwk,tree,newick} (alternative to -manifest)")
-		endpoints  = flag.String("endpoints", "", "comma-separated slimcodemld base URLs (host:port or http://host:port)")
-		shards     = flag.Int("shards", 0, "contiguous row ranges to split the manifest into (0 = four per endpoint)")
-		outPath    = flag.String("out", "", "merged JSONL results file; the fan-out ledger lives beside it (<out>.fanout)")
-		poll       = flag.Duration("poll", 500*time.Millisecond, "job status poll interval")
-		inflight   = flag.Int("inflight", 1, "jobs submitted to one endpoint at a time; further shards queue")
-		reprobe    = flag.Duration("reprobe", time.Second, "initial backoff before a dead endpoint is health-probed for re-admission (negative disables re-probing)")
-		reprobeMax = flag.Duration("reprobe-max", 30*time.Second, "re-probe backoff ceiling")
-		resubmits  = flag.Int("resubmits", 3, "max resubmissions per shard after daemon failures (0 = fail on the first lost shard)")
-		purge      = flag.Bool("purge", false, "delete each shard's job from its daemon once the shard is merged")
-		engine     = flag.String("engine", "slim", "engine: baseline, slim, slim-sym or slim-bundled")
-		freq       = flag.String("freq", "f61", "codon frequencies: f61, f3x4 or uniform")
-		maxIter    = flag.Int("maxiter", 500, "maximum BFGS iterations per hypothesis")
-		seed       = flag.Int64("seed", 1, "seed for the starting parameter values")
-		m0start    = flag.Bool("m0start", false, "initialize branch lengths from an M0 pre-fit")
-		shareFreq  = flag.Bool("sharefreq", false, "pool codon frequencies over the whole manifest in a coordinator pre-pass and pin every shard's job to them")
-		countCache = flag.String("countcache", "", "codon-count cache file the -sharefreq pre-pass consults and updates")
-		warmStart  = flag.Bool("warmstart", false, "hint daemons to seed optimizers from their warm cache's last MLE when a gene's inputs match (relaxes bit-determinism; needs daemons with -cachedir)")
-		jobs       = flag.Int("jobs", 0, "genes fitted concurrently within each daemon job (0 = daemon's GOMAXPROCS)")
-		prefetch   = flag.Int("prefetch", 0, "genes resident at once within each daemon job (0 = 2×jobs)")
-		quiet      = flag.Bool("quiet", false, "suppress per-shard progress lines")
+		maniPath    = flag.String("manifest", "", "manifest file with one 'name alignment-path tree-path' row per gene")
+		dirPath     = flag.String("dir", "", "directory pairing NAME.{fasta,fa,fna,phy,phylip} with NAME.{nwk,tree,newick} (alternative to -manifest)")
+		endpoints   = flag.String("endpoints", "", "comma-separated slimcodemld base URLs (host:port or http://host:port)")
+		shards      = flag.Int("shards", 0, "contiguous row ranges to split the manifest into (0 = four per endpoint)")
+		outPath     = flag.String("out", "", "merged JSONL results file; the fan-out ledger lives beside it (<out>.fanout)")
+		poll        = flag.Duration("poll", 500*time.Millisecond, "job status poll interval")
+		inflight    = flag.Int("inflight", 1, "jobs submitted to one endpoint at a time; further shards queue")
+		reprobe     = flag.Duration("reprobe", time.Second, "initial backoff before a dead endpoint is health-probed for re-admission (negative disables re-probing)")
+		reprobeMax  = flag.Duration("reprobe-max", 30*time.Second, "re-probe backoff ceiling")
+		resubmits   = flag.Int("resubmits", 3, "max resubmissions per shard after daemon failures (0 = fail on the first lost shard)")
+		purge       = flag.Bool("purge", false, "delete each shard's job from its daemon once the shard is merged")
+		engine      = flag.String("engine", "slim", "engine: baseline, slim, slim-sym or slim-bundled")
+		freq        = flag.String("freq", "f61", "codon frequencies: f61, f3x4 or uniform")
+		maxIter     = flag.Int("maxiter", 500, "maximum BFGS iterations per hypothesis")
+		seed        = flag.Int64("seed", 1, "seed for the starting parameter values")
+		m0start     = flag.Bool("m0start", false, "initialize branch lengths from an M0 pre-fit")
+		shareFreq   = flag.Bool("sharefreq", false, "pool codon frequencies over the whole manifest in a coordinator pre-pass and pin every shard's job to them")
+		countCache  = flag.String("countcache", "", "codon-count cache file the -sharefreq pre-pass consults and updates")
+		warmStart   = flag.Bool("warmstart", false, "hint daemons to seed optimizers from their warm cache's last MLE when a gene's inputs match (relaxes bit-determinism; needs daemons with -cachedir)")
+		jobs        = flag.Int("jobs", 0, "genes fitted concurrently within each daemon job (0 = daemon's GOMAXPROCS)")
+		prefetch    = flag.Int("prefetch", 0, "genes resident at once within each daemon job (0 = 2×jobs)")
+		quiet       = flag.Bool("quiet", false, "suppress per-shard progress lines")
+		metricsAddr = flag.String("metrics-addr", "", "serve the coordinator's own Prometheus /metrics on this address (e.g. :9710; empty disables)")
+		logFmt      = flag.String("logfmt", "", "structured event log on stderr: text or json (empty disables; progress lines are separate, see -quiet)")
 	)
 	flag.Parse()
 	if (*maniPath == "") == (*dirPath == "") || *endpoints == "" || *outPath == "" {
@@ -106,6 +116,28 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
+	logger := obs.NopLogger()
+	if *logFmt != "" {
+		var lerr error
+		if logger, lerr = obs.NewLogger(os.Stderr, *logFmt); lerr != nil {
+			fmt.Fprintln(os.Stderr, "slimcodemlx:", lerr)
+			os.Exit(2)
+		}
+	}
+	// The coordinator's own metric surface (shard phases, endpoint
+	// health, poll latency) on a separate listener: the coordinator is a
+	// client of the daemons' APIs, not a server, so the scrape port is
+	// opt-in and carries nothing else.
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		msrv := &http.Server{Addr: *metricsAddr, Handler: reg.Handler()}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "slimcodemlx: metrics listener:", err)
+			}
+		}()
+		defer msrv.Close()
+	}
 	fmt.Printf("SlimCodeML fan-out: %d genes over %d endpoints\n", len(entries), len(eps))
 	sum, err := fanout.Run(ctx, fanout.Config{
 		Entries:      entries,
@@ -130,7 +162,9 @@ func main() {
 			Concurrency:      *jobs,
 			Prefetch:         *prefetch,
 		},
-		Logf: logf,
+		Logf:    logf,
+		Log:     logger,
+		Metrics: reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slimcodemlx:", err)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/bsm"
 	"repro/internal/codon"
 	"repro/internal/lik"
+	"repro/internal/obs"
 	"repro/internal/persistcache"
 )
 
@@ -125,6 +126,13 @@ type StreamOptions struct {
 	// carrying a warm-start marker, so warm and cold runs never replay
 	// each other's records.
 	WarmStart bool
+	// Metrics, when non-nil, receives the stream's instrumentation:
+	// per-gene fit-latency histograms, prefetch-window occupancy, and
+	// delivery/replay/warm-start counters (the slimcodeml_stream_*
+	// series). nil costs nothing — and either way instrumentation only
+	// observes, so output bytes are identical with and without it
+	// (TestStreamMetricsParity).
+	Metrics *obs.Registry
 }
 
 // StreamSummary aggregates a streaming run; the per-gene results have
@@ -242,6 +250,8 @@ func RunBatchStream(ctx context.Context, src GeneSource, sink ResultSink, opts S
 		}
 	}
 
+	met := newStreamMetrics(opts.Metrics, prefetch)
+
 	start := time.Now()
 	type item struct {
 		seq  int
@@ -275,6 +285,7 @@ func RunBatchStream(ctx context.Context, src GeneSource, sink ResultSink, opts S
 				srcErr = err
 				return
 			}
+			met.window.Inc()
 			select {
 			case work <- item{seq: seq, gene: g}:
 			case <-abort:
@@ -296,7 +307,18 @@ func RunBatchStream(ctx context.Context, src GeneSource, sink ResultSink, opts S
 				if ctx.Err() != nil {
 					continue
 				}
-				results <- delivered{seq: it.seq, res: runGene(it.gene, geneOpts)}
+				if it.gene.replay != nil {
+					// A replayed record is a lookup, not a fit; it is
+					// counted at delivery, never in the fit histogram.
+					results <- delivered{seq: it.seq, res: runGene(it.gene, geneOpts)}
+					continue
+				}
+				met.inflight.Inc()
+				t0 := time.Now()
+				res := runGene(it.gene, geneOpts)
+				met.observeFit(time.Since(t0), geneOpts.warmStart && it.gene.seed != nil)
+				met.inflight.Dec()
+				results <- delivered{seq: it.seq, res: res}
 			}
 		}()
 	}
@@ -343,7 +365,9 @@ func RunBatchStream(ctx context.Context, src GeneSource, sink ResultSink, opts S
 			if r.Rec != nil {
 				sum.Replayed++
 			}
+			met.observeDelivery(r)
 			<-sem
+			met.window.Dec()
 		}
 	}
 	hits1, misses1 := cache.Stats()

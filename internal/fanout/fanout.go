@@ -78,6 +78,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -87,6 +88,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -155,6 +157,15 @@ type Config struct {
 	// Logf, when set, receives progress lines (endpoint deaths and
 	// re-admissions, resubmissions, appended shards).
 	Logf func(format string, args ...any)
+	// Log, when set, receives the same lifecycle transitions as
+	// structured events with shard/endpoint/job attributes (the
+	// coordinator analogue of serve.Config.Log). Nil discards them.
+	Log *slog.Logger
+	// Metrics, when set, receives the coordinator's shard-phase and
+	// endpoint-health gauges, resubmission counters and poll latency
+	// histogram — what slimcodemlx -metrics-addr exposes. Nil costs
+	// nothing.
+	Metrics *obs.Registry
 	// OnSubmitted and OnAppended, when set, observe shard lifecycle
 	// transitions — progress displays and tests hook in here.
 	OnSubmitted func(shard int, endpoint, jobID string)
@@ -248,6 +259,8 @@ type coord struct {
 	// endpoint is alive) — the clock behind the fleet-dead grace period.
 	allDeadSince time.Time
 	sum          Summary
+	met          *coordMetrics
+	log          *slog.Logger
 }
 
 func (c *coord) logf(format string, args ...any) {
@@ -272,6 +285,7 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	if err := c.adoptAssignments(ctx); err != nil {
 		return nil, err
 	}
+	c.met.update(c)
 	for c.next < len(c.shards) {
 		if err := ctx.Err(); err != nil {
 			return nil, c.interrupted(err)
@@ -288,6 +302,9 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		if err := c.appendReady(ctx); err != nil {
 			return nil, err
 		}
+		// One consistent gauge refresh per scheduling round, after every
+		// phase transition this round made.
+		c.met.update(c)
 		if c.next == len(c.shards) {
 			break
 		}
@@ -375,7 +392,10 @@ func newCoord(ctx context.Context, cfg Config) (*coord, error) {
 	}
 	cfg.Entries = entries
 
-	c := &coord{cfg: cfg}
+	c := &coord{cfg: cfg, met: newCoordMetrics(cfg.Metrics), log: cfg.Log}
+	if c.log == nil {
+		c.log = obs.NopLogger()
+	}
 	for _, url := range cfg.Endpoints {
 		c.eps = append(c.eps, &endpointState{url: url, client: serve.NewClient(url), alive: true})
 	}
@@ -571,6 +591,9 @@ func (c *coord) markDead(idx int, err error) {
 		return
 	}
 	ep.alive = false
+	c.met.epEvents.With("death").Inc()
+	c.log.Warn("endpoint stopped answering; excluded",
+		"endpoint", ep.url, "error", err, "reprobe", c.cfg.Reprobe >= 0)
 	if c.cfg.Reprobe < 0 {
 		c.logf("fanout: endpoint %s is not answering (%v); excluding it for the rest of the run", ep.url, err)
 	} else {
@@ -604,6 +627,8 @@ func (c *coord) reprobeDead(ctx context.Context) error {
 			ep.backoff = 0
 			c.allDeadSince = time.Time{}
 			c.sum.Readmissions++
+			c.met.epEvents.With("readmission").Inc()
+			c.log.Info("endpoint answering again; re-admitted", "endpoint", ep.url)
 			c.logf("fanout: endpoint %s is answering again; re-admitting it", ep.url)
 			continue
 		}
@@ -669,6 +694,8 @@ func (c *coord) submitPending(ctx context.Context) error {
 			if err := c.ledger.AppendSubmit(checkpoint.ShardSubmit{Shard: i, Endpoint: ep.url, JobID: status.ID}); err != nil {
 				return err
 			}
+			c.log.Info("shard submitted",
+				"shard", i, "genes", len(st.entries), "endpoint", ep.url, "job", status.ID)
 			c.logf("fanout: shard %d/%d (%d genes) → %s as %s", i+1, len(c.shards), len(st.entries), ep.url, status.ID)
 			if c.cfg.OnSubmitted != nil {
 				c.cfg.OnSubmitted(i, ep.url, status.ID)
@@ -699,7 +726,9 @@ func (c *coord) pollSubmitted(ctx context.Context) error {
 			}
 			continue
 		}
+		t0 := time.Now()
 		status, err := ep.client.JobStatus(ctx, st.jobID)
+		c.met.observePoll(time.Since(t0))
 		if err != nil {
 			if cerr := c.cancelled(ctx, err); cerr != nil {
 				return cerr
@@ -752,6 +781,9 @@ func (c *coord) demote(shard int, reason string) error {
 	st.jobID = ""
 	st.resubmits++
 	c.sum.Resubmits++
+	c.met.resubmits.Inc()
+	c.log.Warn("shard needs resubmission",
+		"shard", shard, "reason", reason, "attempt", st.resubmits, "budget", c.cfg.MaxResubmits)
 	c.logf("fanout: shard %d/%d needs resubmission (%s; attempt %d of %d)",
 		shard+1, len(c.shards), reason, st.resubmits, c.cfg.MaxResubmits)
 	if st.resubmits > c.cfg.MaxResubmits {
@@ -909,6 +941,8 @@ func (c *coord) appendReady(ctx context.Context) error {
 		if err := c.ledger.AppendDone(checkpoint.ShardDone{Shard: c.next, Offset: c.offset}); err != nil {
 			return err
 		}
+		c.log.Info("shard merged",
+			"shard", c.next, "genes", len(st.entries), "output_bytes", c.offset)
 		c.logf("fanout: shard %d/%d merged (%d genes, output now %d bytes)",
 			c.next+1, len(c.shards), len(st.entries), c.offset)
 		if c.cfg.OnAppended != nil {

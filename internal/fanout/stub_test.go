@@ -39,14 +39,18 @@ type stubJob struct {
 // makes every job report failed (a deterministic job-level failure);
 // statusDelay stalls each status answer (a slow poll to cancel into).
 type stubDaemon struct {
-	mu          sync.Mutex
-	nextID      int
-	jobs        map[string]*stubJob
-	submits     int
-	fetched     []string // job ids whose results were downloaded, in order
-	ready       func(d *stubDaemon, id string) bool
-	reject503   bool
-	failJobs    bool
+	mu        sync.Mutex
+	nextID    int
+	jobs      map[string]*stubJob
+	submits   int
+	fetched   []string // job ids whose results were downloaded, in order
+	ready     func(d *stubDaemon, id string) bool
+	reject503 bool
+	failJobs  bool
+	// failFirst makes exactly one status poll (the first to arrive)
+	// report failed, then clears itself — a deterministic single
+	// job-level failure for exercising the resubmission path.
+	failFirst   bool
 	statusDelay time.Duration
 }
 
@@ -102,6 +106,9 @@ func (d *stubDaemon) handler() http.Handler {
 		state := serve.StateRunning
 		switch {
 		case d.failJobs:
+			state = serve.StateFailed
+		case d.failFirst:
+			d.failFirst = false
 			state = serve.StateFailed
 		case d.ready(d, job.id):
 			state = serve.StateDone

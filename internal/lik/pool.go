@@ -180,13 +180,14 @@ type decompEntry struct {
 // exchangeability structure follows the code — so one cache is safe
 // for mixed-code batches and manifests.
 type DecompCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[decompKey]*list.Element // values hold *decompEntry
-	order   *list.List                  // LRU order, most recent at front
-	store   DecompStore
-	hits    int
-	misses  int
+	mu        sync.Mutex
+	max       int
+	entries   map[decompKey]*list.Element // values hold *decompEntry
+	order     *list.List                  // LRU order, most recent at front
+	store     DecompStore
+	hits      int
+	misses    int
+	evictions int
 }
 
 // DecompStore is an optional second, persistent tier behind the
@@ -320,6 +321,7 @@ func (c *DecompCache) insert(key decompKey, r *codon.Rate, d *expm.Decomposition
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*decompEntry).key)
+		c.evictions++
 	}
 	e := &decompEntry{key: key, pi: append([]float64(nil), r.Pi...), d: d}
 	c.entries[key] = c.order.PushFront(e)
@@ -330,6 +332,16 @@ func (c *DecompCache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions returns how many entries the LRU policy has displaced —
+// the capacity-pressure signal the daemon's /metrics exposes (a
+// steadily climbing value under a steady workload means the cache is
+// sized below the working set).
+func (c *DecompCache) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Len returns the number of cached decompositions.

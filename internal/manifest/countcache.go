@@ -26,6 +26,10 @@ type CountCache struct {
 	path  string
 	genes map[string]CachedCounts
 	dirty bool
+	// hits / misses count Lookup outcomes — the cache-effectiveness
+	// counters the daemon lifts into /healthz and /metrics. Owned by
+	// the cache's single goroutine, read after the run via Stats.
+	hits, misses int
 }
 
 // CachedCounts is one gene's pooled-count contribution plus the
@@ -82,10 +86,16 @@ func (c *CountCache) Len() int { return len(c.genes) }
 func (c *CountCache) Lookup(name string, size, mtimeNS int64, code string) (CachedCounts, bool) {
 	cc, ok := c.genes[name]
 	if !ok || cc.Size != size || cc.MTimeNS != mtimeNS || cc.Code != code {
+		c.misses++
 		return CachedCounts{}, false
 	}
+	c.hits++
 	return cc, true
 }
+
+// Stats reports cumulative Lookup hits and misses (stale or absent
+// entries count as misses).
+func (c *CountCache) Stats() (hits, misses int) { return c.hits, c.misses }
 
 // Store records the gene's counts, replacing any previous entry.
 func (c *CountCache) Store(name string, cc CachedCounts) {

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the text exposition format this
+// package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteExposition renders every registered family as Prometheus text
+// exposition (format version 0.0.4): a # HELP and # TYPE line per
+// family followed by its samples, families sorted by name, children
+// sorted by label values, histogram buckets cumulative with the
+// trailing +Inf, _sum and _count series. A nil registry writes
+// nothing.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as a scrape endpoint. A nil registry
+// serves an empty (valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteExposition(w)
+	})
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteByte('\n')
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind)
+	w.WriteByte('\n')
+
+	if f.fn != nil {
+		writeSample(w, f.name, nil, nil, f.fn())
+		return nil
+	}
+
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.children))
+	for _, key := range f.order {
+		children = append(children, f.children[key])
+	}
+	f.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool {
+		return lessStrings(children[i].labelValues, children[j].labelValues)
+	})
+
+	// Bucket samples carry the family labels plus le; build the name
+	// slice once (appending to f.labelNames in place could alias its
+	// backing array across samples).
+	bucketNames := append(append([]string{}, f.labelNames...), "le")
+	for _, c := range children {
+		switch f.kind {
+		case kindHistogram:
+			bucketValues := append(append([]string{}, c.labelValues...), "")
+			le := len(bucketValues) - 1
+			// Count first: concurrent observations bump bucket counts
+			// after their count increment is visible, so the ladder read
+			// below is ≥ consistent with this count; monotonicity of the
+			// cumulative ladder holds regardless.
+			total := c.count.Load()
+			var cum uint64
+			for i, ub := range f.buckets {
+				cum += c.counts[i].Load()
+				bucketValues[le] = formatFloat(ub)
+				writeSample(w, f.name+"_bucket", bucketNames, bucketValues, float64(cum))
+			}
+			cum += c.counts[len(f.buckets)].Load()
+			if cum > total {
+				total = cum
+			}
+			bucketValues[le] = "+Inf"
+			writeSample(w, f.name+"_bucket", bucketNames, bucketValues, float64(total))
+			writeSample(w, f.name+"_sum", f.labelNames, c.labelValues, c.sum.Load())
+			writeSample(w, f.name+"_count", f.labelNames, c.labelValues, float64(total))
+		default:
+			writeSample(w, f.name, f.labelNames, c.labelValues, c.val.Load())
+		}
+	}
+	return nil
+}
+
+func lessStrings(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func writeSample(w *bufio.Writer, name string, labelNames, labelValues []string, v float64) {
+	w.WriteString(name)
+	if len(labelNames) > 0 {
+		w.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(ln)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(labelValues[i]))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value or le bound: shortest decimal
+// that round-trips, with the format's spellings for the specials.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes stay
+// literal in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

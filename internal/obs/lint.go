@@ -1,0 +1,392 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition is a hand-rolled conformance checker for the
+// Prometheus text exposition format (version 0.0.4) — the invariants a
+// scraper relies on, asserted strictly enough to catch an encoder
+// regression:
+//
+//   - every sample belongs to a family announced by # HELP and # TYPE
+//     lines (in that order) before its first sample;
+//   - a family is announced at most once, and its samples are not
+//     interleaved with another family's;
+//   - metric and label names are legal, label values use only the
+//     \\, \" and \n escapes, and no two samples repeat the same
+//     name+label set;
+//   - every value parses as a float (with +Inf/-Inf/NaN spellings);
+//   - histograms expose a cumulative, monotone bucket ladder with
+//     ascending le bounds ending in +Inf, plus _sum and _count, with
+//     bucket{le="+Inf"} == _count.
+//
+// It is the parser CI runs against a live daemon's /metrics, and the
+// one the package's own tests run against WriteExposition output.
+func CheckExposition(data []byte) error {
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		return fmt.Errorf("obs: exposition does not end in a newline")
+	}
+	p := &lintState{
+		seenFamilies: map[string]bool{},
+		seenSamples:  map[string]bool{},
+	}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return fmt.Errorf("obs: exposition line %d: %w", i+1, err)
+		}
+	}
+	return p.finish()
+}
+
+// histKey identifies one histogram child (family + labels minus le).
+type histSeries struct {
+	buckets []histBucket
+	sum     *float64
+	count   *float64
+}
+
+type histBucket struct {
+	le  float64
+	cum float64
+}
+
+type lintState struct {
+	family       string // current family name ("" before the first)
+	familyKind   string
+	helpSeen     bool
+	seenFamilies map[string]bool
+	seenSamples  map[string]bool
+	// hist accumulates histogram series keyed by family, then by the
+	// non-le label signature; checked at finish.
+	hist map[string]map[string]*histSeries
+}
+
+func (p *lintState) line(line string) error {
+	if strings.HasPrefix(line, "#") {
+		return p.comment(line)
+	}
+	return p.sample(line)
+}
+
+func (p *lintState) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		name := fields[2]
+		if !validName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if p.seenFamilies[name] {
+			return fmt.Errorf("family %q announced twice", name)
+		}
+		p.seenFamilies[name] = true
+		p.family = name
+		p.familyKind = ""
+		p.helpSeen = true
+		return nil
+	case "TYPE":
+		name := fields[2]
+		if name != p.family || !p.helpSeen {
+			return fmt.Errorf("TYPE for %q does not follow its HELP line", name)
+		}
+		if p.familyKind != "" {
+			return fmt.Errorf("family %q has two TYPE lines", name)
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line %q lacks a type", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+			p.familyKind = fields[3]
+		default:
+			return fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+		return nil
+	}
+	// Other comments are allowed by the format and ignored.
+	return nil
+}
+
+func (p *lintState) sample(line string) error {
+	name, labels, value, err := parseSample(line)
+	if err != nil {
+		return err
+	}
+	if p.family == "" || p.familyKind == "" {
+		return fmt.Errorf("sample %q before any HELP/TYPE announcement", name)
+	}
+	base := name
+	isBucket, isSum, isCount := false, false, false
+	if p.familyKind == "histogram" {
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base, isBucket = strings.TrimSuffix(name, "_bucket"), true
+		case strings.HasSuffix(name, "_sum"):
+			base, isSum = strings.TrimSuffix(name, "_sum"), true
+		case strings.HasSuffix(name, "_count"):
+			base, isCount = strings.TrimSuffix(name, "_count"), true
+		}
+	}
+	if base != p.family {
+		return fmt.Errorf("sample %q under family %q", name, p.family)
+	}
+
+	sig := sampleSignature(name, labels)
+	if p.seenSamples[sig] {
+		return fmt.Errorf("duplicate sample %s", sig)
+	}
+	p.seenSamples[sig] = true
+
+	if p.familyKind != "histogram" {
+		return nil
+	}
+	if p.hist == nil {
+		p.hist = map[string]map[string]*histSeries{}
+	}
+	series := p.hist[p.family]
+	if series == nil {
+		series = map[string]*histSeries{}
+		p.hist[p.family] = series
+	}
+	var le string
+	rest := make([]label, 0, len(labels))
+	for _, l := range labels {
+		if l.name == "le" {
+			if !isBucket {
+				return fmt.Errorf("le label on non-bucket sample %q", name)
+			}
+			le = l.value
+			continue
+		}
+		rest = append(rest, l)
+	}
+	key := sampleSignature(p.family, rest)
+	hs := series[key]
+	if hs == nil {
+		hs = &histSeries{}
+		series[key] = hs
+	}
+	switch {
+	case isBucket:
+		bound, err := parseValue(le)
+		if err != nil {
+			return fmt.Errorf("bucket bound le=%q: %w", le, err)
+		}
+		hs.buckets = append(hs.buckets, histBucket{le: bound, cum: value})
+	case isSum:
+		if hs.sum != nil {
+			return fmt.Errorf("histogram %s has two _sum samples", key)
+		}
+		hs.sum = &value
+	case isCount:
+		if hs.count != nil {
+			return fmt.Errorf("histogram %s has two _count samples", key)
+		}
+		hs.count = &value
+	default:
+		return fmt.Errorf("sample %q is not a _bucket/_sum/_count of histogram %q", name, p.family)
+	}
+	return nil
+}
+
+// finish verifies the accumulated histogram invariants.
+func (p *lintState) finish() error {
+	fams := make([]string, 0, len(p.hist))
+	for f := range p.hist {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		keys := make([]string, 0, len(p.hist[f]))
+		for k := range p.hist[f] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			hs := p.hist[f][k]
+			if len(hs.buckets) == 0 {
+				return fmt.Errorf("obs: histogram %s has no buckets", k)
+			}
+			for i, b := range hs.buckets {
+				if i > 0 {
+					prev := hs.buckets[i-1]
+					if !(b.le > prev.le) {
+						return fmt.Errorf("obs: histogram %s: le bounds not ascending (%g after %g)", k, b.le, prev.le)
+					}
+					if b.cum < prev.cum {
+						return fmt.Errorf("obs: histogram %s: bucket ladder not monotone (%g after %g)", k, b.cum, prev.cum)
+					}
+				}
+			}
+			last := hs.buckets[len(hs.buckets)-1]
+			if !math.IsInf(last.le, +1) {
+				return fmt.Errorf("obs: histogram %s: last bucket is le=%g, not +Inf", k, last.le)
+			}
+			if hs.sum == nil {
+				return fmt.Errorf("obs: histogram %s lacks a _sum sample", k)
+			}
+			if hs.count == nil {
+				return fmt.Errorf("obs: histogram %s lacks a _count sample", k)
+			}
+			if *hs.count != last.cum {
+				return fmt.Errorf("obs: histogram %s: _count %g != +Inf bucket %g", k, *hs.count, last.cum)
+			}
+		}
+	}
+	return nil
+}
+
+type label struct{ name, value string }
+
+// sampleSignature canonicalizes name + sorted labels for duplicate
+// detection.
+func sampleSignature(name string, labels []label) string {
+	ls := append([]label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].name < ls[j].name })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.name, l.value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parseSample splits one sample line into name, labels and value,
+// validating names, label syntax/escapes and the float value. (The
+// optional trailing timestamp the format allows is rejected: nothing
+// in this fleet writes one, so one appearing is a corruption signal.)
+func parseSample(line string) (string, []label, float64, error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name := line[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []label
+	if i < len(line) && line[i] == '{' {
+		var err error
+		labels, i, err = parseLabels(line, i+1)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", nil, 0, fmt.Errorf("sample %q lacks a value separator", line)
+	}
+	valueText := line[i+1:]
+	if strings.ContainsAny(valueText, " \t") {
+		return "", nil, 0, fmt.Errorf("sample %q carries extra fields after the value", line)
+	}
+	v, err := parseValue(valueText)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: %w", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels parses from just after '{' through the closing '}',
+// returning the index after it.
+func parseLabels(line string, i int) ([]label, int, error) {
+	var labels []label
+	seen := map[string]bool{}
+	for {
+		if i >= len(line) {
+			return nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if line[i] == '}' {
+			return labels, i + 1, nil
+		}
+		j := i
+		for j < len(line) && line[j] != '=' {
+			j++
+		}
+		name := line[i:j]
+		if !validName(name) {
+			return nil, 0, fmt.Errorf("invalid label name %q", name)
+		}
+		if seen[name] {
+			return nil, 0, fmt.Errorf("label %q repeated", name)
+		}
+		seen[name] = true
+		if j+1 >= len(line) || line[j+1] != '"' {
+			return nil, 0, fmt.Errorf("label %q lacks a quoted value", name)
+		}
+		value, next, err := parseQuoted(line, j+2)
+		if err != nil {
+			return nil, 0, err
+		}
+		labels = append(labels, label{name: name, value: value})
+		i = next
+		if i < len(line) && line[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseQuoted parses a label value from just after the opening quote,
+// allowing exactly the \\, \" and \n escapes.
+func parseQuoted(line string, i int) (string, int, error) {
+	var b strings.Builder
+	for i < len(line) {
+		switch line[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(line) {
+				return "", 0, fmt.Errorf("dangling escape in %q", line)
+			}
+			switch line[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c in %q", line[i+1], line)
+			}
+			i += 2
+		default:
+			b.WriteByte(line[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value in %q", line)
+}
+
+// parseValue parses a sample value or le bound with the format's
+// special spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad float %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger the daemons share: slog with
+// a text handler ("", "text") or a JSON handler ("json") — the -logfmt
+// flag's two spellings. Every daemon log line then carries machine-
+// parsable job/shard/endpoint attrs instead of printf interpolation.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for embedded servers (tests, libraries) that were not handed one.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,468 @@
+// Package obs is the fleet's observability core: a dependency-free
+// metrics registry (counters, gauges, histograms with fixed
+// exponential buckets; all atomic and race-safe) with Prometheus text
+// exposition (format version 0.0.4), a hand-rolled conformance checker
+// for that format (CheckExposition — the same parser CI runs against a
+// live daemon's /metrics), and structured-logging constructors on
+// log/slog shared by the daemons.
+//
+// # Nil safety
+//
+// Every handle type (*Counter, *Gauge, *Histogram and their Vec
+// variants) is safe to use as a nil pointer: all mutating methods
+// no-op and Value returns zero. A nil *Registry likewise returns nil
+// handles from every constructor. Instrumented code therefore never
+// checks for an injected registry — core.RunBatchStream records into
+// whatever it was handed, and a nil registry costs a few nil-receiver
+// calls per gene, never an allocation or a lock (the "nil = zero
+// overhead" contract its parity test enforces).
+//
+// # Concurrency
+//
+// Registration (Counter, GaugeVec.With, …) takes a registry or family
+// mutex; the hot paths (Inc, Add, Set, Observe) are lock-free atomics.
+// Counter and histogram sums are float64s updated by compare-and-swap
+// on their IEEE-754 bits, so concurrent adds never lose updates.
+// Exposition reads the same atomics; a scrape concurrent with updates
+// sees per-sample-atomic values (a histogram's count is read before
+// its buckets, so bucket sums may momentarily exceed the count by
+// in-flight observations — the conformance invariant checked is
+// monotonicity within the bucket ladder, which always holds).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated atomically via its IEEE-754 bits.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// metric kinds, in exposition TYPE spelling.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one named metric: its metadata plus every labeled child.
+type family struct {
+	name       string
+	help       string
+	kind       string
+	labelNames []string
+	buckets    []float64 // histogram upper bounds, ascending, +Inf implicit
+
+	// fn, when non-nil, makes this a function-backed single-sample
+	// family (GaugeFunc/CounterFunc): the value is read at scrape time
+	// from shared state that already has its own counters.
+	fn func() float64
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string // child keys in registration order (sorted at exposition)
+}
+
+// child is one (label values) sample: a scalar for counters/gauges, a
+// bucket ladder plus sum and count for histograms.
+type child struct {
+	labelValues []string
+	val         atomicFloat     // counter / gauge value
+	counts      []atomic.Uint64 // per-bucket (non-cumulative); last = overflow (+Inf)
+	sum         atomicFloat
+	count       atomic.Uint64
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. The zero value is not usable; construct with NewRegistry.
+// A nil *Registry is a valid no-op sink (see the package comment).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName reports whether name is a legal Prometheus metric or label
+// name: [a-zA-Z_:][a-zA-Z0-9_:]* (labels additionally must not use ':',
+// but none of ours do and the stricter check keeps one code path).
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register creates or fetches a family, panicking on a schema conflict
+// — re-registering the same name with a different kind, help, label
+// set or buckets is a programmer error, not a runtime condition.
+func (r *Registry) register(name, help, kind string, labelNames []string, buckets []float64, fn func() float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || f.help != help || !equalStrings(f.labelNames, labelNames) ||
+			!equalFloats(f.buckets, buckets) || (f.fn == nil) != (fn == nil) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    append([]float64(nil), buckets...),
+		fn:         fn,
+		children:   make(map[string]*child),
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get fetches or creates the child for the label values.
+func (f *family) get(labelValues []string) *child {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := childKey(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{labelValues: append([]string(nil), labelValues...)}
+	if f.kind == kindHistogram {
+		c.counts = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// childKey joins label values unambiguously (values may contain any
+// byte; 0xFF never appears in the escaped join because we escape it).
+func childKey(values []string) string {
+	out := make([]byte, 0, 16)
+	for _, v := range values {
+		for i := 0; i < len(v); i++ {
+			b := v[i]
+			if b == '\\' || b == 0xFF {
+				out = append(out, '\\')
+			}
+			out = append(out, b)
+		}
+		out = append(out, 0xFF)
+	}
+	return string(out)
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ c *child }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters
+// only go up — a programming error must not corrupt monotonicity).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 || math.IsNaN(v) {
+		return
+	}
+	c.c.val.Add(v)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.c.val.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ c *child }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.c.val.Store(v)
+}
+
+// Add shifts the gauge by v (Inc/Dec are Add(±1)).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.c.val.Add(v)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.c.val.Load()
+}
+
+// Histogram counts observations into fixed buckets.
+type Histogram struct {
+	f *family
+	c *child
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Upper bounds are inclusive (Prometheus le semantics); the sorted
+	// ladder is short (≤ ~20), so a linear scan beats binary search.
+	i := 0
+	for i < len(h.f.buckets) && v > h.f.buckets[i] {
+		i++
+	}
+	h.c.counts[i].Add(1)
+	h.c.sum.Add(v)
+	h.c.count.Add(1)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.c.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.c.sum.Load()
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values (created on first use).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return &Counter{c: v.f.get(labelValues)}
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the label values (created on first use).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return &Gauge{c: v.f.get(labelValues)}
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values (created on first
+// use).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return &Histogram{f: v.f, c: v.f.get(labelValues)}
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{c: r.register(name, help, kindCounter, nil, nil, nil).get(nil)}
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labelNames, nil, nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{c: r.register(name, help, kindGauge, nil, nil, nil).get(nil)}
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labelNames, nil, nil)}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram over the
+// bucket upper bounds (must be sorted ascending; +Inf is implicit).
+// Nil buckets select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, kindHistogram, nil, checkBuckets(name, buckets), nil)
+	return &Histogram{f: f, c: f.get(nil)}
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labelNames, checkBuckets(name, buckets), nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read from f at scrape
+// time — how pre-existing counters (cache stats, queue depth) are
+// exposed without double bookkeeping: /metrics and /healthz then read
+// the very same source and can never disagree.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGauge, nil, nil, f)
+}
+
+// CounterFunc registers a counter whose value is read from f at scrape
+// time. The source must be cumulative (monotone non-decreasing) for
+// the exposition TYPE to be honest.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounter, nil, nil, f)
+}
+
+func checkBuckets(name string, buckets []float64) []float64 {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q buckets are not strictly ascending", name))
+		}
+	}
+	if n := len(buckets); n > 0 && math.IsInf(buckets[n-1], +1) {
+		buckets = buckets[:n-1] // +Inf is implicit
+	}
+	return buckets
+}
+
+// ExpBuckets returns n exponential bucket upper bounds starting at
+// start and growing by factor — the fixed ladders every latency
+// histogram in the fleet uses.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefBuckets is the default latency ladder: 1 ms to ~65 s, doubling —
+// wide enough for a sub-second HTTP request and a minutes-long gene
+// fit on the same scale.
+var DefBuckets = ExpBuckets(0.001, 2, 17)
+
+// snapshotFamilies returns the families in sorted-name order for
+// exposition.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The registry's own exposition must pass the conformance parser with
+// every metric kind, label shapes and a func-backed family in play.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Total jobs.").Add(3)
+	cv := r.CounterVec("events_total", "Events by kind.", "kind")
+	cv.With("submit").Inc()
+	cv.With("done").Add(2)
+	r.Gauge("queue_depth", "Jobs waiting.").Set(7)
+	gv := r.GaugeVec("shards", "Shards by phase.", "phase")
+	gv.With("pending").Set(4)
+	gv.With("merged").Set(1)
+	h := r.Histogram("fit_seconds", "Fit latency.", ExpBuckets(0.001, 2, 10))
+	for _, v := range []float64{0.0001, 0.002, 0.5, 3, 1000} {
+		h.Observe(v)
+	}
+	hv := r.HistogramVec("req_seconds", "Request latency.", nil, "route")
+	hv.With("/jobs").Observe(0.01)
+	r.GaugeFunc("cache_entries", "Cache entries.", func() float64 { return 42 })
+	r.CounterFunc("cache_hits_total", "Cache hits.", func() float64 { return 9 })
+
+	var buf bytes.Buffer
+	if err := r.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("own exposition fails conformance:\n%s\n%v", out, err)
+	}
+
+	// Spot-check the shape the parser already validated structurally.
+	for _, want := range []string{
+		"# HELP jobs_total Total jobs.\n# TYPE jobs_total counter\njobs_total 3\n",
+		`events_total{kind="done"} 2`,
+		`events_total{kind="submit"} 1`,
+		"# TYPE fit_seconds histogram",
+		`fit_seconds_bucket{le="0.001"} 1`,
+		`fit_seconds_bucket{le="+Inf"} 5`,
+		"fit_seconds_count 5",
+		`req_seconds_bucket{route="/jobs",le="0.002"} 0`,
+		`req_seconds_bucket{route="/jobs",le="0.016"} 1`,
+		"cache_entries 42",
+		"cache_hits_total 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// Families must come out sorted by name.
+	idxA := strings.Index(out, "# HELP cache_entries")
+	idxB := strings.Index(out, "# HELP jobs_total")
+	idxC := strings.Index(out, "# HELP queue_depth")
+	if !(idxA < idxB && idxB < idxC) {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+// Histogram sums and the cumulative ladder must track observations
+// exactly, with le bounds inclusive.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 4, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`, // 0.5 and the inclusive 1
+		`h_bucket{le="2"} 3`,
+		`h_bucket{le="4"} 4`,
+		`h_bucket{le="+Inf"} 5`,
+		"h_sum 107",
+		"h_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 107 {
+		t.Errorf("Count/Sum = %d/%g, want 5/107", h.Count(), h.Sum())
+	}
+}
+
+// Label values with quotes, backslashes and newlines must round-trip
+// the escaping rules and still pass the parser.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "escape test", "path")
+	hostile := "a\"b\\c\nd"
+	v.With(hostile).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `c_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped sample %q missing from:\n%s", want, buf.String())
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// And the parser must reject a bad escape.
+	bad := []byte("# HELP x h\n# TYPE x counter\nx{a=\"\\q\"} 1\n")
+	if err := CheckExposition(bad); err == nil {
+		t.Fatal("parser accepted an invalid escape")
+	}
+}
+
+// The conformance parser must reject the classic corruptions.
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no trailing newline": "# HELP a h\n# TYPE a counter\na 1",
+		"sample before HELP":  "a 1\n",
+		"TYPE without HELP":   "# TYPE a counter\na 1\n",
+		"family twice":        "# HELP a h\n# TYPE a counter\na 1\n# HELP a h\n# TYPE a counter\n",
+		"foreign sample":      "# HELP a h\n# TYPE a counter\nb 1\n",
+		"duplicate sample":    "# HELP a h\n# TYPE a counter\na 1\na 2\n",
+		"bad value":           "# HELP a h\n# TYPE a counter\na one\n",
+		"bad label name":      "# HELP a h\n# TYPE a counter\na{0x=\"v\"} 1\n",
+		"unterminated labels": "# HELP a h\n# TYPE a counter\na{x=\"v\" 1\n",
+		"timestamp present":   "# HELP a h\n# TYPE a counter\na 1 1700000000\n",
+		"non-monotone ladder": "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"descending le":       "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"missing +Inf":        "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"missing _sum":        "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"missing _count":      "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"count != +Inf":       "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, text := range cases {
+		if err := CheckExposition([]byte(text)); err == nil {
+			t.Errorf("%s: parser accepted:\n%s", name, text)
+		}
+	}
+	// A correct document sanity-checks the cases above test the parser,
+	// not a broken fixture notation.
+	good := "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3.5\nh_count 2\n"
+	if err := CheckExposition([]byte(good)); err != nil {
+		t.Fatalf("parser rejected a valid document: %v", err)
+	}
+}
+
+// A nil registry and nil handles must be complete no-ops — the
+// zero-overhead contract instrumented hot paths rely on.
+func TestNilRegistryNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := r.Gauge("g", "x")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := r.Histogram("h", "x", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram holds observations")
+	}
+	r.CounterVec("cv_total", "x", "l").With("v").Inc()
+	r.GaugeVec("gv", "x", "l").With("v").Set(1)
+	r.HistogramVec("hv", "x", nil, "l").With("v").Observe(1)
+	r.GaugeFunc("gf", "x", func() float64 { return 1 })
+	r.CounterFunc("cf", "x", func() float64 { return 1 })
+	if err := r.WriteExposition(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Counters must not go backwards and must ignore NaN.
+func TestCounterMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "x")
+	c.Add(2)
+	c.Add(-5)
+	c.Add(math.NaN())
+	if c.Value() != 2 {
+		t.Fatalf("counter = %g, want 2", c.Value())
+	}
+}
+
+// Re-registering the same schema returns the same series; a schema
+// conflict panics.
+func TestReregistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "x")
+	b := r.Counter("c_total", "x")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("re-registered counter did not share state: %g", a.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("c_total", "x")
+}
+
+// ExpBuckets must produce the fixed exponential ladder.
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentRegistry hammers one registry from many goroutines —
+// creation, updates and scrapes interleaved — and is part of the CI
+// race pass: the hot paths must be lock-free-correct, and a scrape
+// concurrent with updates must still serialize a conformant document.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "x")
+	g := r.Gauge("depth", "x")
+	h := r.Histogram("lat_seconds", "x", ExpBuckets(0.001, 2, 8))
+	cv := r.CounterVec("ev_total", "x", "kind")
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := string(rune('a' + w%4))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%100) / 1000)
+				cv.With(kind).Inc()
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WriteExposition(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := CheckExposition(buf.Bytes()); err != nil {
+						t.Errorf("mid-update scrape not conformant: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %g, want %d", c.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %g, want 0", g.Value())
+	}
+}

@@ -175,3 +175,22 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
 	return h, err
 }
+
+// Metrics fetches the daemon's raw Prometheus text exposition
+// (GET /metrics), unparsed — callers that want structure run it
+// through obs.CheckExposition or their own scraper.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}

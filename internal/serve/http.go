@@ -19,11 +19,16 @@ import (
 //	DELETE /jobs/{id}             cancel the job
 //	DELETE /jobs/{id}?purge=1     purge a finished job and its data files
 //	GET    /healthz               liveness plus queue occupancy (Health)
+//	GET    /metrics               Prometheus text exposition (obs)
 //
 // Errors are JSON objects {"error": "..."} with conventional status
 // codes (400 bad spec, 404 unknown job, 409 cancel of a finished job
 // or purge of an active one, 503 full queue or shutdown). The Client
 // type in this package speaks this API.
+//
+// Every request — /metrics scrapes included — is counted and timed
+// into slimcodemld_http_requests_total / _request_seconds, labelled by
+// the matched route pattern.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -32,7 +37,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	mux.Handle("GET /metrics", s.met.reg.Handler())
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Job lifecycle events, the label values of slimcodemld_jobs_total.
+// Transitions are counted where they happen (Submit, runJob, recover,
+// the retention sweep), so the counter is an audit trail of everything
+// that ever moved a job — including the recoveries and sweeps that
+// previously happened silently.
+const (
+	eventSubmitted      = "submitted"
+	eventDone           = "done"
+	eventFailed         = "failed"
+	eventCancelled      = "cancelled"
+	eventInterrupted    = "interrupted"
+	eventRecovered      = "recovered" // finished job re-listed after restart
+	eventRequeued       = "requeued"  // unfinished job re-queued to resume
+	eventRecoveryFailed = "recovery_failed"
+	eventSwept          = "swept" // purged by the retention sweeper
+	eventPurged         = "purged"
+)
+
+// serverMetrics is the daemon's metric surface. Pre-existing counters
+// (the decomposition cache, the persistent store, queue occupancy) are
+// exposed as function-backed series reading the very same state
+// /healthz snapshots — the two endpoints cannot disagree because
+// neither keeps numbers of its own.
+type serverMetrics struct {
+	reg          *obs.Registry
+	httpRequests *obs.CounterVec   // route, code
+	httpSeconds  *obs.HistogramVec // route
+	jobEvents    *obs.CounterVec   // event
+	activeJobs   *obs.Gauge
+	countHits    *obs.Counter
+	countMisses  *obs.Counter
+}
+
+// newServerMetrics registers the daemon's series on a fresh registry.
+// The function-backed series close over the server; they are read only
+// at scrape time, after New has finished wiring.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: r,
+		httpRequests: r.CounterVec("slimcodemld_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "code"),
+		httpSeconds: r.HistogramVec("slimcodemld_http_request_seconds",
+			"HTTP request latency by route pattern.", nil, "route"),
+		jobEvents: r.CounterVec("slimcodemld_jobs_total",
+			"Job lifecycle events (submitted, done, failed, cancelled, interrupted, recovered, requeued, recovery_failed, swept, purged).", "event"),
+		activeJobs: r.Gauge("slimcodemld_active_jobs",
+			"Jobs in the running state right now."),
+		countHits: r.Counter("slimcodemld_countcache_hits_total",
+			"Sidecar codon-count cache hits across all jobs' shared-frequency pre-passes."),
+		countMisses: r.Counter("slimcodemld_countcache_misses_total",
+			"Sidecar codon-count cache misses across all jobs' shared-frequency pre-passes."),
+	}
+	r.GaugeFunc("slimcodemld_queue_depth",
+		"Jobs waiting in the intake queue.", func() float64 { return float64(len(s.queue)) })
+	r.GaugeFunc("slimcodemld_queue_capacity",
+		"Intake queue capacity (submissions beyond it are refused with 503).", func() float64 { return float64(cap(s.queue)) })
+	r.GaugeFunc("slimcodemld_jobs",
+		"Jobs the daemon currently holds, in any state.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.jobs))
+		})
+	r.GaugeFunc("slimcodemld_pool_workers",
+		"Workers in the shared likelihood pool.", func() float64 { return float64(s.pool.NumWorkers()) })
+	r.CounterFunc("slimcodemld_decomp_cache_hits_total",
+		"Shared eigendecomposition cache hits.", func() float64 { h, _ := s.cache.Stats(); return float64(h) })
+	r.CounterFunc("slimcodemld_decomp_cache_misses_total",
+		"Shared eigendecomposition cache misses.", func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	r.CounterFunc("slimcodemld_decomp_cache_evictions_total",
+		"Eigendecompositions displaced by the LRU policy.", func() float64 { return float64(s.cache.Evictions()) })
+	r.GaugeFunc("slimcodemld_decomp_cache_entries",
+		"Eigendecompositions resident in the shared cache.", func() float64 { return float64(s.cache.Len()) })
+	if s.store != nil {
+		r.CounterFunc("slimcodemld_persist_decomp_hits_total",
+			"Persistent warm-cache eigendecomposition hits.", func() float64 { return float64(s.store.Counters().DecompHits) })
+		r.CounterFunc("slimcodemld_persist_decomp_misses_total",
+			"Persistent warm-cache eigendecomposition misses.", func() float64 { return float64(s.store.Counters().DecompMisses) })
+		r.CounterFunc("slimcodemld_persist_decomp_writes_total",
+			"Eigendecompositions written to the persistent warm cache.", func() float64 { return float64(s.store.Counters().DecompWrites) })
+		r.CounterFunc("slimcodemld_persist_result_hits_total",
+			"Persistent result-store replay hits.", func() float64 { return float64(s.store.Counters().ResultHits) })
+		r.CounterFunc("slimcodemld_persist_result_misses_total",
+			"Persistent result-store misses.", func() float64 { return float64(s.store.Counters().ResultMisses) })
+		r.CounterFunc("slimcodemld_persist_result_writes_total",
+			"Results written to the persistent store.", func() float64 { return float64(s.store.Counters().ResultWrites) })
+		r.CounterFunc("slimcodemld_persist_warm_hits_total",
+			"Warm-start seeds served from the persistent store.", func() float64 { return float64(s.store.Counters().WarmHits) })
+	}
+	return m
+}
+
+// statusWriter captures the status code the handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the API mux with request counting and latency
+// observation. The route label is the matched ServeMux pattern (e.g.
+// "GET /jobs/{id}"), never the raw path, so label cardinality stays
+// bounded no matter what clients request.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.met.httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
+		s.met.httpSeconds.With(route).Observe(time.Since(t0).Seconds())
+	})
+}
+
+// Metrics returns the daemon's metric registry — the same one GET
+// /metrics serves — so embedding processes (tests, future tooling) can
+// scrape or extend it directly.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }

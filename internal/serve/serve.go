@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -51,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lik"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/persistcache"
 )
 
@@ -91,6 +93,11 @@ type Config struct {
 	// demand. Degenerate sub-tick windows are safe: the sweep interval
 	// is clamped (sweepInterval), never handed raw to time.NewTicker.
 	Retain time.Duration
+	// Log receives the daemon's structured events (job lifecycle,
+	// restart recovery, retention sweeps). Nil discards them — the
+	// server never falls back to the process-global logger, so
+	// embedding tests stay silent by default.
+	Log *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -133,14 +140,24 @@ type Health struct {
 	Cache *CacheHealth `json:"cache,omitempty"`
 }
 
-// CacheHealth is the cache section of the /healthz payload.
+// CacheHealth is the cache section of the /healthz payload. Every
+// number here is read from the same source the equivalent /metrics
+// series reads at scrape time (lik.DecompCache.Stats, the persistent
+// store's counters, the server's count-cache counters), so the two
+// endpoints can never disagree about cache effectiveness.
 type CacheHealth struct {
 	// DecompEntries / DecompHits / DecompMisses report the in-memory
 	// eigendecomposition cache (lik.DecompCache.Stats), cumulative over
-	// the daemon's lifetime.
-	DecompEntries int `json:"decomp_entries"`
-	DecompHits    int `json:"decomp_hits"`
-	DecompMisses  int `json:"decomp_misses"`
+	// the daemon's lifetime; DecompEvictions counts LRU displacements
+	// (capacity pressure).
+	DecompEntries   int `json:"decomp_entries"`
+	DecompHits      int `json:"decomp_hits"`
+	DecompMisses    int `json:"decomp_misses"`
+	DecompEvictions int `json:"decomp_evictions"`
+	// CountHits / CountMisses aggregate the per-job sidecar codon-count
+	// caches (manifest.CountCache) across every job the daemon has run.
+	CountHits   int `json:"count_hits"`
+	CountMisses int `json:"count_misses"`
 	// Persist holds the persistent store's hit/miss/write counters;
 	// absent when no cache directory is configured.
 	Persist *persistcache.Counters `json:"persist,omitempty"`
@@ -286,6 +303,8 @@ type Server struct {
 	pool  *lik.Pool
 	cache *lik.DecompCache
 	store *persistcache.Store // nil without Config.CacheDir
+	met   *serverMetrics
+	log   *slog.Logger
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -331,6 +350,14 @@ func New(cfg Config) (*Server, error) {
 		// recomputing them.
 		s.cache.WithStore(store)
 	}
+	s.log = cfg.Log
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
+	// Metrics exist before recovery: recovered jobs re-resolve their
+	// specs (which binds the stream to the registry) and recovery itself
+	// counts lifecycle events.
+	s.met = newServerMetrics(s)
 	recovered, err := s.recover()
 	if err != nil {
 		s.pool.Close()
@@ -362,7 +389,11 @@ func New(cfg Config) (*Server, error) {
 // cancel them first. The cross-run cache (Config.CacheDir) is never
 // touched: purging removes exactly the four per-job paths, and cache
 // files live in their own directory tree.
-func (s *Server) Purge(id string) error {
+func (s *Server) Purge(id string) error { return s.purge(id, eventPurged) }
+
+// purge implements Purge; event distinguishes caller-driven purges
+// from the retention sweeper's in the lifecycle counter and the log.
+func (s *Server) purge(id, event string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job, ok := s.jobs[id]
@@ -388,6 +419,13 @@ func (s *Server) Purge(id string) error {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
+	}
+	s.met.jobEvents.With(event).Inc()
+	if event == eventSwept {
+		s.log.Info("retention sweep purged expired job",
+			"job", id, "state", job.state, "finished", job.finished)
+	} else {
+		s.log.Info("job purged", "job", id, "state", job.state)
 	}
 	return nil
 }
@@ -445,17 +483,26 @@ func (s *Server) sweepExpired() {
 	}
 	s.mu.Unlock()
 	for _, id := range expired {
-		s.Purge(id) // best effort; a failed removal is retried next sweep
+		// Best effort; a failed removal is retried next sweep.
+		if err := s.purge(id, eventSwept); err != nil && !errors.Is(err, ErrUnknownJob) {
+			s.log.Warn("retention sweep could not purge job; will retry",
+				"job", id, "error", err)
+		}
 	}
 }
 
-// cacheHealth snapshots the cache counters for /healthz.
+// cacheHealth snapshots the cache counters for /healthz from exactly
+// the sources the /metrics function-backed series read, keeping the
+// two endpoints in agreement by construction.
 func (s *Server) cacheHealth() *CacheHealth {
 	hits, misses := s.cache.Stats()
 	ch := &CacheHealth{
-		DecompEntries: s.cache.Len(),
-		DecompHits:    hits,
-		DecompMisses:  misses,
+		DecompEntries:   s.cache.Len(),
+		DecompHits:      hits,
+		DecompMisses:    misses,
+		DecompEvictions: s.cache.Evictions(),
+		CountHits:       int(s.met.countHits.Value()),
+		CountMisses:     int(s.met.countMisses.Value()),
 	}
 	if s.store != nil {
 		c := s.store.Counters()
@@ -517,12 +564,16 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.jobs[id] = job
 	s.order = append(s.order, id)
 	s.mu.Unlock()
+	s.met.jobEvents.With(eventSubmitted).Inc()
+	s.log.Info("job submitted", "job", id, "genes", job.total)
 	if err := job.persistSpec(); err != nil {
 		// The runner will still execute the job; it just will not be
 		// recovered after a restart.
 		job.mu.Lock()
 		job.errMsg = fmt.Sprintf("spec not persisted: %v", err)
 		job.mu.Unlock()
+		s.log.Warn("job spec not persisted; job will not survive a restart",
+			"job", id, "error", err)
 	}
 	return job, nil
 }
@@ -543,6 +594,8 @@ func (s *Server) Cancel(id string) error {
 		job.cancelled = true
 		job.state = StateCancelled
 		job.finished = time.Now()
+		s.met.jobEvents.With(eventCancelled).Inc()
+		s.log.Info("queued job cancelled", "job", id)
 		return nil
 	case StateRunning:
 		job.cancelled = true
@@ -571,6 +624,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
+	s.log.Info("shutting down; cancelling running jobs at the next gene boundary",
+		"jobs", len(jobs))
 
 	close(s.quit)
 	for _, j := range jobs {
@@ -598,6 +653,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			if job.state == StateQueued {
 				job.state = StateInterrupted
 				job.finished = time.Now()
+				s.met.jobEvents.With(eventInterrupted).Inc()
+				s.log.Info("queued job interrupted by shutdown; resumes on restart",
+					"job", job.id)
 			}
 			job.mu.Unlock()
 			continue
@@ -650,13 +708,17 @@ func (s *Server) runJob(job *Job) {
 	job.mu.Unlock()
 	s.mu.Unlock()
 	defer cancel()
+	s.met.activeJobs.Inc()
+	defer s.met.activeJobs.Dec()
+	s.log.Info("job started", "job", job.id, "genes", job.total)
 
+	counts := manifest.OpenCountCache(job.countsPath)
 	sum, err := checkpoint.Run(ctx, checkpoint.RunConfig{
 		Entries: job.entries,
 		Format:  s.cfg.Format,
 		OutPath: job.outPath,
 		Opts:    job.opts,
-		Counts:  manifest.OpenCountCache(job.countsPath),
+		Counts:  counts,
 		OnStart: func(completed, failed int) {
 			job.mu.Lock()
 			job.done, job.failed = completed, failed
@@ -671,6 +733,13 @@ func (s *Server) runJob(job *Job) {
 			job.mu.Unlock()
 		},
 	})
+
+	// The job's count-cache Lookup outcomes roll up into the daemon-wide
+	// counters /metrics and /healthz both read. checkpoint.Run has
+	// returned, so the cache's owning goroutine is done with it.
+	ch, cm := counts.Stats()
+	s.met.countHits.Add(float64(ch))
+	s.met.countMisses.Add(float64(cm))
 
 	job.mu.Lock()
 	defer job.mu.Unlock()
@@ -689,6 +758,16 @@ func (s *Server) runJob(job *Job) {
 	default:
 		job.state = StateFailed
 		job.errMsg = err.Error()
+	}
+	s.met.jobEvents.With(job.state).Inc() // states double as event names
+	attrs := []any{"job", job.id, "state", job.state, "done", job.done, "failed", job.failed}
+	if sum != nil {
+		attrs = append(attrs, "runtime_sec", sum.Runtime.Seconds())
+	}
+	if job.state == StateFailed {
+		s.log.Warn("job failed", append(attrs, "error", job.errMsg)...)
+	} else {
+		s.log.Info("job finished", attrs...)
 	}
 }
 
@@ -768,6 +847,11 @@ func (s *Server) resolveSpec(spec JobSpec) ([]manifest.Entry, core.StreamOptions
 		Decomps:   s.cache,
 		Persist:   s.store, // nil without a cache dir
 		WarmStart: spec.WarmStart,
+		// Every job's stream records its fit latencies and prefetch
+		// occupancy into the daemon's registry (the per-gene series on
+		// GET /metrics). Registration is idempotent, so concurrent jobs
+		// share the same series.
+		Metrics: s.met.reg,
 	}
 	if n := len(spec.Frequencies); n > 0 {
 		if want := codon.Universal.NumStates(); n != want {
@@ -811,12 +895,22 @@ func (s *Server) recover() ([]*Job, error) {
 			s.nextID = n
 		}
 		job, resume, err := s.recoverJob(id)
-		if err != nil {
+		switch {
+		case err != nil:
 			job.state = StateFailed
 			job.errMsg = fmt.Sprintf("recovery: %v", err)
 			job.finished = time.Now()
-		} else if resume {
+			s.met.jobEvents.With(eventRecoveryFailed).Inc()
+			s.log.Warn("job revalidation refused; marked failed",
+				"job", id, "reason", err)
+		case resume:
 			requeue = append(requeue, job)
+			s.met.jobEvents.With(eventRequeued).Inc()
+			s.log.Info("recovered unfinished job; requeued to resume",
+				"job", id, "genes", job.total, "done", job.done, "failed", job.failed)
+		default:
+			s.met.jobEvents.With(eventRecovered).Inc()
+			s.log.Info("recovered finished job", "job", id, "state", job.state)
 		}
 		s.jobs[id] = job
 		s.order = append(s.order, id)
