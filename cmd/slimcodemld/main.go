@@ -29,6 +29,20 @@
 // default — profiling endpoints are opt-in, not something to expose on
 // an open port by accident).
 //
+// Multi-tenancy is opt-in via -tenants: the file names each tenant, its
+// API token and its quotas (see docs/OPERATIONS.md for the format).
+// With it set every /jobs request needs "Authorization: Bearer <token>",
+// tenants see only their own jobs, per-tenant queue quotas answer 429,
+// and queued jobs dispatch in round-robin order across tenants instead
+// of global FIFO. The file hot-reloads on change or SIGHUP; a broken
+// edit keeps the previous tenant set active. Without -tenants the
+// daemon is exactly the single-tenant open daemon it always was.
+//
+// GET /jobs/{id}/results?follow=1 upgrades the results fetch to a
+// chunked stream that delivers each gene record as it becomes durable
+// and ends once the job is terminal and drained — the bytes are
+// identical to a plain fetch after completion.
+//
 // The data directory grows one results+ledger pair per job; -retain
 // bounds it by purging done/failed/cancelled jobs once they have been
 // finished longer than the window (interrupted jobs are kept — they
@@ -72,6 +86,7 @@ func main() {
 		format    = flag.String("format", "auto", "alignment format for job files: fasta, phylip or auto")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight genes")
 		retain    = flag.Duration("retain", 0, "purge done/failed/cancelled jobs (files and all) this long after they finish; 0 keeps them forever")
+		tenants   = flag.String("tenants", "", "tenants file enabling token auth, per-tenant quotas and fair-share scheduling (empty = single-tenant open daemon; hot-reloads on file change or SIGHUP)")
 		kernel    = flag.String("kernel", "", "GEMM kernel for all jobs (empty = $"+blas.KernelEnv+" or "+blas.DefaultKernel+"; every kernel is bit-exact, results never change)")
 		cacheDir  = flag.String("cachedir", "", "cross-run warm cache directory (empty = <data>/cache, \"off\" disables); survives restarts, never purged by -retain")
 		logFmt    = flag.String("logfmt", "text", "structured log format on stderr: text or json")
@@ -89,13 +104,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "slimcodemld:", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *cacheDir, *drain, *retain, logger, *withPprof); err != nil {
+	if err := run(*addr, *dataDir, *workers, *active, *queue, *cache, *format, *cacheDir, *tenants, *drain, *retain, logger, *withPprof); err != nil {
 		fmt.Fprintln(os.Stderr, "slimcodemld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, workers, active, queue, cache int, format, cacheDir string, drain, retain time.Duration, logger *slog.Logger, withPprof bool) error {
+func run(addr, dataDir string, workers, active, queue, cache int, format, cacheDir, tenants string, drain, retain time.Duration, logger *slog.Logger, withPprof bool) error {
 	afmt, err := align.ParseFormat(format)
 	if err != nil {
 		return err
@@ -115,6 +130,7 @@ func run(addr, dataDir string, workers, active, queue, cache int, format, cacheD
 		Format:      afmt,
 		Retain:      retain,
 		CacheDir:    cacheDir,
+		TenantsPath: tenants,
 		Log:         logger,
 	})
 	if err != nil {
@@ -138,9 +154,27 @@ func run(addr, dataDir string, workers, active, queue, cache int, format, cacheD
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP re-reads the tenants file on demand (the daemon also picks
+	// up mtime changes on its own); without -tenants it is ignored.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if tenants == "" {
+				continue
+			}
+			if err := server.ReloadTenants(); err != nil {
+				logger.Error("tenants reload failed; previous set stays active", "path", tenants, "error", err)
+			} else {
+				logger.Info("tenants reloaded", "path", tenants)
+			}
+		}
+	}()
+
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("serving", "addr", addr, "data", dataDir, "pprof", withPprof)
+		logger.Info("serving", "addr", addr, "data", dataDir, "tenants", tenants, "pprof", withPprof)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}
@@ -155,9 +189,13 @@ func run(addr, dataDir string, workers, active, queue, cache int, format, cacheD
 	logger.Info("signal received; checkpointing in-flight jobs", "drain", drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
+	// Daemon core first: that ends follow-mode result streams (they
+	// watch the server's quit signal), so the HTTP drain that follows
+	// isn't held open by long-lived streaming connections.
+	sErr := server.Shutdown(shutCtx)
 	httpSrv.Shutdown(shutCtx)
-	if err := server.Shutdown(shutCtx); err != nil {
-		return err
+	if sErr != nil {
+		return sErr
 	}
 	logger.Info("stopped; restart with the same -data to resume jobs", "data", dataDir)
 	return nil

@@ -31,6 +31,13 @@
 // the shard is safely merged, so a completed fan-out leaves the
 // fleet's data directories empty (see also slimcodemld -retain).
 //
+// Against follow-capable daemons each shard's results arrive over a
+// streaming ?follow=1 connection opened at submission — rows land in
+// the shard's local spool as the daemon checkpoints them and status
+// polling disappears; old daemons are detected automatically and
+// polled classically (-no-follow forces that for diagnosis). A fleet
+// running slimcodemld -tenants needs -token with a valid API token.
+//
 // Observability: -metrics-addr serves the coordinator's own Prometheus
 // /metrics (shard-phase and endpoint-health gauges, resubmission
 // counters, poll latency) on a separate listener, and -logfmt emits
@@ -80,6 +87,8 @@ func main() {
 		jobs        = flag.Int("jobs", 0, "genes fitted concurrently within each daemon job (0 = daemon's GOMAXPROCS)")
 		prefetch    = flag.Int("prefetch", 0, "genes resident at once within each daemon job (0 = 2×jobs)")
 		quiet       = flag.Bool("quiet", false, "suppress per-shard progress lines")
+		token       = flag.String("token", "", "API token sent as 'Authorization: Bearer <token>' to every daemon (for fleets running slimcodemld -tenants; harmless otherwise)")
+		noFollow    = flag.Bool("no-follow", false, "poll job status instead of streaming results via ?follow=1 (streaming falls back to polling automatically on old daemons; this flag is for diagnosis)")
 		metricsAddr = flag.String("metrics-addr", "", "serve the coordinator's own Prometheus /metrics on this address (e.g. :9710; empty disables)")
 		logFmt      = flag.String("logfmt", "", "structured event log on stderr: text or json (empty disables; progress lines are separate, see -quiet)")
 	)
@@ -140,17 +149,19 @@ func main() {
 	}
 	fmt.Printf("SlimCodeML fan-out: %d genes over %d endpoints\n", len(entries), len(eps))
 	sum, err := fanout.Run(ctx, fanout.Config{
-		Entries:      entries,
-		Endpoints:    eps,
-		Shards:       *shards,
-		InFlight:     *inflight,
-		Reprobe:      *reprobe,
-		ReprobeMax:   *reprobeMax,
-		OutPath:      *outPath,
-		Poll:         *poll,
-		MaxResubmits: *resubmits,
-		Purge:        *purge,
-		CountCache:   *countCache,
+		Entries:       entries,
+		Endpoints:     eps,
+		Shards:        *shards,
+		InFlight:      *inflight,
+		Reprobe:       *reprobe,
+		ReprobeMax:    *reprobeMax,
+		OutPath:       *outPath,
+		Poll:          *poll,
+		MaxResubmits:  *resubmits,
+		Purge:         *purge,
+		CountCache:    *countCache,
+		Token:         *token,
+		DisableFollow: *noFollow,
 		Spec: serve.JobSpec{
 			Engine:           *engine,
 			Freq:             *freq,

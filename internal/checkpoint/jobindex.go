@@ -1,0 +1,336 @@
+// Job index: an append-only JSONL ledger of every job a slimcodemld
+// data directory has ever held, so restart recovery reads one file
+// instead of stat-ing and revalidating every job's spec and ledger —
+// the difference between O(live jobs) and O(all historical jobs) when
+// a daemon holds millions of finished analyses.
+//
+// The index obeys the same discipline as the gene ledger it lives
+// beside: records are appended with marshal → write → fsync, a job's
+// record is only written after the state it describes is durable
+// (results fsync'ed before a "done" record — fsync-before-describe),
+// and a torn final line left by a crash is dropped on open. Unlike the
+// gene ledger the index is *derived* state: every record can be
+// rebuilt from the job spec files and per-job ledgers, so corruption
+// beyond the torn tail, a deleted index, or a pre-index data directory
+// all degrade to the directory-scan recovery path, never to data loss.
+//
+// Records are latest-wins per job ID; a purge line tombstones an ID.
+// Open compacts the file (one line per live job, superseded and purged
+// lines dropped) via write-temp-then-rename whenever it holds dead
+// lines, so the file's size tracks the live job count, not the append
+// count. The header carries the largest job sequence number ever
+// issued — including purged jobs — so IDs are never reissued even
+// after every record referencing them is compacted away.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// JobIndexVersion identifies the index format; OpenJobIndex refuses
+// other versions.
+const JobIndexVersion = 1
+
+// JobIndexPath returns the conventional index location inside a data
+// directory.
+func JobIndexPath(dataDir string) string { return dataDir + "/jobs.index" }
+
+// JobIndexHeader is the index's first line.
+type JobIndexHeader struct {
+	Version int `json:"jobindex_version"`
+	// MaxSeq is the largest job sequence number issued when the header
+	// was written (compaction refreshes it). Appends may carry higher
+	// IDs; the true maximum is max(header, every record's ID).
+	MaxSeq int `json:"max_seq,omitempty"`
+}
+
+// JobIndexRecord describes one job's last known state. Latest record
+// per ID wins.
+type JobIndexRecord struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	State  string `json:"state"`
+	Total  int    `json:"total,omitempty"`
+	Done   int    `json:"done,omitempty"`
+	Failed int    `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Digest fingerprints the job's manifest rows (manifest.Digest).
+	Digest string `json:"digest,omitempty"`
+	// SubmittedUnixNano/FinishedUnixNano are wall-clock timestamps in
+	// Unix nanoseconds (0 = unset), so recovered jobs keep their real
+	// submission and completion times across restarts.
+	SubmittedUnixNano int64 `json:"submitted,omitempty"`
+	FinishedUnixNano  int64 `json:"finished,omitempty"`
+}
+
+// jobIndexLine is the on-disk envelope: exactly one field is set.
+type jobIndexLine struct {
+	Header *JobIndexHeader `json:"header,omitempty"`
+	Job    *JobIndexRecord `json:"job,omitempty"`
+	Purge  string          `json:"purge,omitempty"`
+}
+
+// JobIndex is an open job index. Methods are safe for concurrent use.
+type JobIndex struct {
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	recs   map[string]*JobIndexRecord
+	order  []string // live IDs in first-record order
+	maxSeq int      // largest sequence number ever seen, incl. purged
+	seq    func(id string) (int, bool)
+}
+
+// OpenJobIndex opens (or creates) the index at path. Loading drops a
+// torn final line; if the surviving file holds superseded or purged
+// lines it is compacted in place via write-temp-then-rename before
+// being reopened for appends. seq extracts a job ID's sequence number
+// (ok=false for foreign IDs); it feeds MaxSeq so IDs are never
+// reissued.
+func OpenJobIndex(path string, seq func(id string) (int, bool)) (*JobIndex, error) {
+	if seq == nil {
+		seq = func(string) (int, bool) { return 0, false }
+	}
+	idx := &JobIndex{
+		path: path,
+		recs: make(map[string]*JobIndexRecord),
+		seq:  seq,
+	}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		return idx, idx.create()
+	case err != nil:
+		return nil, fmt.Errorf("jobindex: %w", err)
+	}
+
+	lines, dead, err := idx.load(data)
+	if err != nil {
+		return nil, err
+	}
+	if dead {
+		if err := idx.compactLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("jobindex: %w", err)
+		}
+		if err := f.Truncate(lines); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("jobindex: %w", err)
+		}
+		if _, err := f.Seek(lines, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("jobindex: %w", err)
+		}
+		idx.f = f
+	}
+	return idx, nil
+}
+
+// create writes a fresh index file with just a header.
+func (x *JobIndex) create() error {
+	f, err := os.OpenFile(x.path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobindex: %w", err)
+	}
+	x.f = f
+	h := JobIndexHeader{Version: JobIndexVersion, MaxSeq: x.maxSeq}
+	return appendJSONLine(f, x.path, jobIndexLine{Header: &h})
+}
+
+// load parses data, populating recs/order/maxSeq. It returns the byte
+// count of fully parsed lines (the torn tail is everything after) and
+// whether the file holds dead lines (superseded records, purge pairs,
+// or a stale header) that compaction should drop. A missing or
+// mismatched header is an error — callers fall back to a directory
+// scan and rebuild.
+func (x *JobIndex) load(data []byte) (good int64, dead bool, err error) {
+	sawHeader := false
+	lines := 0
+	for start := 0; start < len(data); {
+		end := start
+		for end < len(data) && data[end] != '\n' {
+			end++
+		}
+		if end == len(data) {
+			break // torn tail: no trailing newline
+		}
+		var ln jobIndexLine
+		if err := json.Unmarshal(data[start:end], &ln); err != nil {
+			dead = true
+			break // torn tail: drop this line and anything after
+		}
+		switch {
+		case ln.Header != nil:
+			if sawHeader {
+				return 0, false, fmt.Errorf("jobindex: %s: duplicate header", x.path)
+			}
+			if ln.Header.Version != JobIndexVersion {
+				return 0, false, fmt.Errorf("jobindex: %s: index version %d, this build reads %d",
+					x.path, ln.Header.Version, JobIndexVersion)
+			}
+			if ln.Header.MaxSeq > x.maxSeq {
+				x.maxSeq = ln.Header.MaxSeq
+			}
+			sawHeader = true
+		case ln.Job != nil:
+			if !sawHeader {
+				return 0, false, fmt.Errorf("jobindex: %s: record before header", x.path)
+			}
+			rec := *ln.Job
+			if _, exists := x.recs[rec.ID]; exists {
+				dead = true // superseded line
+			} else {
+				x.order = append(x.order, rec.ID)
+			}
+			x.recs[rec.ID] = &rec
+			x.noteSeq(rec.ID)
+		case ln.Purge != "":
+			if !sawHeader {
+				return 0, false, fmt.Errorf("jobindex: %s: record before header", x.path)
+			}
+			if _, exists := x.recs[ln.Purge]; exists {
+				delete(x.recs, ln.Purge)
+				x.dropOrder(ln.Purge)
+			}
+			dead = true // the purge line and its targets are gone
+			x.noteSeq(ln.Purge)
+		}
+		start = end + 1
+		good = int64(start)
+		lines++
+	}
+	if !sawHeader {
+		return 0, false, fmt.Errorf("jobindex: %s: no index header", x.path)
+	}
+	if int64(len(data)) > good {
+		dead = true
+	}
+	return good, dead, nil
+}
+
+// noteSeq folds an ID's sequence number into maxSeq.
+func (x *JobIndex) noteSeq(id string) {
+	if n, ok := x.seq(id); ok && n > x.maxSeq {
+		x.maxSeq = n
+	}
+}
+
+// dropOrder removes id from the live-order slice.
+func (x *JobIndex) dropOrder(id string) {
+	for i, v := range x.order {
+		if v == id {
+			x.order = append(x.order[:i], x.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// compactLocked rewrites the index as header + one line per live job,
+// atomically (write temp, fsync, rename), then reopens it for appends.
+// Callers hold no lock during Open; afterwards x.mu guards everything.
+func (x *JobIndex) compactLocked() error {
+	if x.f != nil {
+		x.f.Close()
+		x.f = nil
+	}
+	tmp := x.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobindex: %w", err)
+	}
+	h := JobIndexHeader{Version: JobIndexVersion, MaxSeq: x.maxSeq}
+	werr := appendJSONLine(f, tmp, jobIndexLine{Header: &h})
+	for _, id := range x.order {
+		if werr != nil {
+			break
+		}
+		werr = appendJSONLine(f, tmp, jobIndexLine{Job: x.recs[id]})
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobindex: compact: %w", werr)
+	}
+	if err := os.Rename(tmp, x.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobindex: compact: %w", err)
+	}
+	af, err := os.OpenFile(x.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobindex: %w", err)
+	}
+	x.f = af
+	return nil
+}
+
+// Put durably upserts one job record (latest wins).
+func (x *JobIndex) Put(rec JobIndexRecord) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if err := appendJSONLine(x.f, x.path, jobIndexLine{Job: &rec}); err != nil {
+		return err
+	}
+	if _, exists := x.recs[rec.ID]; !exists {
+		x.order = append(x.order, rec.ID)
+	}
+	x.recs[rec.ID] = &rec
+	x.noteSeq(rec.ID)
+	return nil
+}
+
+// Purge durably tombstones a job ID. The ID's sequence number stays
+// folded into MaxSeq so it is never reissued.
+func (x *JobIndex) Purge(id string) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if err := appendJSONLine(x.f, x.path, jobIndexLine{Purge: id}); err != nil {
+		return err
+	}
+	if _, exists := x.recs[id]; exists {
+		delete(x.recs, id)
+		x.dropOrder(id)
+	}
+	x.noteSeq(id)
+	return nil
+}
+
+// Records returns the live job records in first-submission order.
+func (x *JobIndex) Records() []JobIndexRecord {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]JobIndexRecord, 0, len(x.order))
+	for _, id := range x.order {
+		out = append(out, *x.recs[id])
+	}
+	return out
+}
+
+// MaxSeq returns the largest job sequence number the index has ever
+// seen, including purged jobs.
+func (x *JobIndex) MaxSeq() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.maxSeq
+}
+
+// Close closes the index file.
+func (x *JobIndex) Close() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.f == nil {
+		return nil
+	}
+	err := x.f.Close()
+	x.f = nil
+	return err
+}

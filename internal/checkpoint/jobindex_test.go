@@ -1,0 +1,170 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// jobSeq parses the daemon's "j%06d" ID convention for tests.
+func jobSeq(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%06d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func openTestIndex(t *testing.T, path string) *JobIndex {
+	t.Helper()
+	idx, err := OpenJobIndex(path, jobSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(string(data), "\n")
+}
+
+func TestJobIndexRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.index")
+	idx := openTestIndex(t, path)
+	recs := []JobIndexRecord{
+		{ID: "j000001", State: "done", Total: 3, Done: 3, SubmittedUnixNano: 100, FinishedUnixNano: 200},
+		{ID: "j000002", Tenant: "alice", State: "failed", Total: 1, Failed: 1, Error: "boom"},
+		{ID: "j000003", State: "queued", Total: 2},
+	}
+	for _, r := range recs {
+		if err := idx.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Latest wins: j000003 transitions to done.
+	recs[2] = JobIndexRecord{ID: "j000003", State: "done", Total: 2, Done: 2, FinishedUnixNano: 300}
+	if err := idx.Put(recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx2 := openTestIndex(t, path)
+	defer idx2.Close()
+	got := idx2.Records()
+	if len(got) != len(recs) {
+		t.Fatalf("reloaded %d records, want %d: %+v", len(got), len(recs), got)
+	}
+	for i, want := range recs {
+		if got[i] != want {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want)
+		}
+	}
+	if idx2.MaxSeq() != 3 {
+		t.Errorf("MaxSeq = %d, want 3", idx2.MaxSeq())
+	}
+	// The superseded j000003 line was compacted away on open: header +
+	// three live records.
+	if n := countLines(t, path); n != 4 {
+		t.Errorf("compacted index has %d lines, want 4", n)
+	}
+}
+
+func TestJobIndexTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.index")
+	idx := openTestIndex(t, path)
+	if err := idx.Put(JobIndexRecord{ID: "j000001", State: "done", Total: 1, Done: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Put(JobIndexRecord{ID: "j000002", State: "running", Total: 5}); err != nil {
+		t.Fatal(err)
+	}
+	idx.Close()
+
+	// A crash mid-append leaves a torn final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"job":{"id":"j000003","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	idx2 := openTestIndex(t, path)
+	got := idx2.Records()
+	if len(got) != 2 || got[0].ID != "j000001" || got[1].ID != "j000002" {
+		t.Fatalf("after torn tail: records = %+v, want j000001+j000002", got)
+	}
+	// The torn bytes are gone from disk and appends land on a clean
+	// boundary.
+	if err := idx2.Put(JobIndexRecord{ID: "j000004", State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	idx2.Close()
+	idx3 := openTestIndex(t, path)
+	defer idx3.Close()
+	if got := idx3.Records(); len(got) != 3 || got[2].ID != "j000004" {
+		t.Fatalf("after reappend: records = %+v", got)
+	}
+}
+
+func TestJobIndexPurgeKeepsMaxSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.index")
+	idx := openTestIndex(t, path)
+	for i := 1; i <= 3; i++ {
+		id := fmt.Sprintf("j%06d", i)
+		if err := idx.Put(JobIndexRecord{ID: id, State: "done"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := idx.Purge("j000003"); err != nil {
+		t.Fatal(err)
+	}
+	if idx.MaxSeq() != 3 {
+		t.Errorf("MaxSeq after purge = %d, want 3", idx.MaxSeq())
+	}
+	idx.Close()
+
+	// Compaction on reopen drops the purged pair but the header keeps
+	// the issued-ID high-water mark: j000003 must never be reissued.
+	idx2 := openTestIndex(t, path)
+	defer idx2.Close()
+	if got := idx2.Records(); len(got) != 2 {
+		t.Fatalf("after purge: records = %+v, want 2 live", got)
+	}
+	if idx2.MaxSeq() != 3 {
+		t.Errorf("MaxSeq after compaction = %d, want 3 (from header)", idx2.MaxSeq())
+	}
+	if n := countLines(t, path); n != 3 {
+		t.Errorf("compacted index has %d lines, want 3", n)
+	}
+}
+
+func TestJobIndexRefusesCorruptPrefix(t *testing.T) {
+	dir := t.TempDir()
+	// No header at all.
+	noHeader := filepath.Join(dir, "noheader.index")
+	if err := os.WriteFile(noHeader, []byte(`{"job":{"id":"j000001","state":"done"}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJobIndex(noHeader, jobSeq); err == nil {
+		t.Error("index without header accepted")
+	}
+	// Future version.
+	vNext := filepath.Join(dir, "vnext.index")
+	if err := os.WriteFile(vNext, []byte(`{"header":{"jobindex_version":99}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJobIndex(vNext, jobSeq); err == nil {
+		t.Error("index with future version accepted")
+	}
+}

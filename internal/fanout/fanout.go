@@ -2,10 +2,12 @@
 // scales one manifest across several slimcodemld daemons. It slices
 // the manifest into deterministic contiguous shards (manifest.Shard),
 // keeps the shards in a coordinator-side queue from which daemons pull
-// work as they finish, polls the jobs over the daemons' HTTP API
-// (serve.Client), and concatenates the per-shard JSONL results — in
-// shard order — into a single output file that is byte-identical to a
-// standalone single-process run of the same manifest.
+// work as they finish, streams each submitted job's results over the
+// daemons' HTTP API (serve.Client follow mode, falling back to status
+// polling against daemons that lack it), and concatenates the
+// per-shard JSONL results — in shard order — into a single output file
+// that is byte-identical to a standalone single-process run of the
+// same manifest.
 //
 // # The shard queue
 //
@@ -153,6 +155,17 @@ type Config struct {
 	// spec files) from its daemon after the shard is safely appended to
 	// the merged output, so a fan-out run leaves no data behind.
 	Purge bool
+	// Token is the bearer token sent with every daemon request —
+	// required against daemons running with tenancy on, ignored by
+	// daemons without it.
+	Token string
+	// DisableFollow turns off follow-mode result streaming and reverts
+	// to pure status polling. By default the coordinator follows each
+	// submitted job's results (GET .../results?follow=1), spooling rows
+	// as the daemon lands them; an endpoint that does not advertise the
+	// capability (an older daemon) automatically falls back to polling,
+	// so the flag exists for diagnosis, not compatibility.
+	DisableFollow bool
 
 	// Logf, when set, receives progress lines (endpoint deaths and
 	// re-admissions, resubmissions, appended shards).
@@ -230,6 +243,28 @@ type shardState struct {
 	// daemon that purges or loses a finished job (retention sweep,
 	// crash) after this point costs nothing.
 	spool string
+	// follow is the shard's live result stream, when one is open; nil
+	// while the shard is polled classically.
+	follow *followState
+}
+
+// followState tracks one shard's follow-mode result stream: a
+// goroutine copying the daemon's chunked JSONL into the spool file as
+// rows land. The coordinator's scheduling loop stays single-threaded —
+// the goroutine only writes the spool and reports once on done.
+type followState struct {
+	cancel context.CancelFunc
+	done   chan followResult // buffered; the follower sends exactly once
+}
+
+// followResult is what a finished follower reports. followed=false
+// means the daemon never advertised the capability (an old daemon) and
+// the body was a bounded point-in-time snapshot, discarded in favor of
+// classic polling.
+type followResult struct {
+	followed bool
+	lines    int
+	err      error
 }
 
 // endpointState is one daemon, its health, and — while dead — its
@@ -242,6 +277,10 @@ type endpointState struct {
 	// backoff, doubling after each failed probe up to Config.ReprobeMax.
 	probeAt time.Time
 	backoff time.Duration
+	// noFollow records that this daemon answered a follow request
+	// without the capability header (an older build): every later shard
+	// there is polled classically instead of re-discovering the gap.
+	noFollow bool
 }
 
 type coord struct {
@@ -275,6 +314,9 @@ func (c *coord) logf(format string, args ...any) {
 // daemons, and rerunning the identical configuration adopts them.
 func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	start := time.Now()
+	// Follower goroutines must die with the run, success or failure.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	c, err := newCoord(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -397,7 +439,9 @@ func newCoord(ctx context.Context, cfg Config) (*coord, error) {
 		c.log = obs.NopLogger()
 	}
 	for _, url := range cfg.Endpoints {
-		c.eps = append(c.eps, &endpointState{url: url, client: serve.NewClient(url), alive: true})
+		cl := serve.NewClient(url)
+		cl.Token = cfg.Token
+		c.eps = append(c.eps, &endpointState{url: url, client: cl, alive: true})
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		rows, err := manifest.Shard(entries, i+1, cfg.Shards)
@@ -694,6 +738,9 @@ func (c *coord) submitPending(ctx context.Context) error {
 			if err := c.ledger.AppendSubmit(checkpoint.ShardSubmit{Shard: i, Endpoint: ep.url, JobID: status.ID}); err != nil {
 				return err
 			}
+			if c.followEnabled(ep) {
+				c.startFollower(ctx, i)
+			}
 			c.log.Info("shard submitted",
 				"shard", i, "genes", len(st.entries), "endpoint", ep.url, "job", status.ID)
 			c.logf("fanout: shard %d/%d (%d genes) → %s as %s", i+1, len(c.shards), len(st.entries), ep.url, status.ID)
@@ -706,10 +753,140 @@ func (c *coord) submitPending(ctx context.Context) error {
 	return nil
 }
 
+// followEnabled reports whether a submitted shard on this endpoint
+// should stream its results instead of being polled.
+func (c *coord) followEnabled(ep *endpointState) bool {
+	return !c.cfg.DisableFollow && !ep.noFollow
+}
+
+// startFollower opens a follow-mode result stream for a submitted
+// shard: a goroutine that copies the daemon's chunked JSONL into the
+// shard's spool file as the daemon's checkpoint ledger lands each row,
+// and reports the row count when the stream ends. While a follower is
+// live the shard needs no status polls at all.
+func (c *coord) startFollower(ctx context.Context, i int) {
+	st := c.shards[i]
+	ep := c.eps[st.endpoint]
+	fctx, cancel := context.WithCancel(ctx)
+	fs := &followState{cancel: cancel, done: make(chan followResult, 1)}
+	st.follow = fs
+	c.met.follows.With("started").Inc()
+	client, jobID, spool := ep.client, st.jobID, st.spool
+	go func() {
+		rc, followed, err := client.FollowResults(fctx, jobID, 0)
+		if err != nil {
+			fs.done <- followResult{err: err}
+			return
+		}
+		// Either a live stream or — from an old daemon that ignored the
+		// follow parameter — a bounded point-in-time snapshot. Both are
+		// spooled: a snapshot that turns out complete (the job was
+		// already done) is the shard's results, no refetch needed.
+		f, err := os.Create(spool)
+		if err != nil {
+			rc.Close()
+			fs.done <- followResult{followed: followed, err: err}
+			return
+		}
+		lc := &lineCounter{w: f}
+		_, err = io.Copy(lc, rc)
+		rc.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fs.done <- followResult{followed: followed, lines: lc.lines, err: err}
+	}()
+}
+
+// stopFollower cancels a shard's follower, if any. The follower's
+// pending result (it sends exactly once, buffered) is discarded.
+func (c *coord) stopFollower(st *shardState) {
+	if st.follow != nil {
+		st.follow.cancel()
+		st.follow = nil
+	}
+}
+
+// finishFollow resolves a completed follow stream. The stream ending
+// is not authoritative on its own — the job's state is — so one status
+// round trip classifies it: done with a full row count makes the spool
+// the shard's results; a non-terminal state means the stream was cut
+// early (daemon restart mid-job) and the shard re-follows; failures
+// demote the shard exactly like their polling counterparts.
+func (c *coord) finishFollow(ctx context.Context, i int, res followResult) error {
+	st := c.shards[i]
+	ep := c.eps[st.endpoint]
+	if res.err != nil {
+		if cerr := c.cancelled(ctx, res.err); cerr != nil {
+			return cerr
+		}
+		os.Remove(st.spool)
+		if !isAPIError(res.err) {
+			c.markDead(st.endpoint, res.err)
+			return c.demote(i, fmt.Sprintf("follow stream of job %s broke: %v", st.jobID, res.err))
+		}
+		// e.g. the daemon purged the job mid-stream.
+		return c.demote(i, fmt.Sprintf("follow of job %s refused by %s: %v", st.jobID, ep.url, res.err))
+	}
+	if !res.followed && !ep.noFollow {
+		ep.noFollow = true
+		c.met.follows.With("fallback").Inc()
+		c.log.Info("endpoint lacks follow support; polling instead", "endpoint", ep.url)
+		c.logf("fanout: endpoint %s lacks follow support; falling back to status polling", ep.url)
+	}
+	t0 := time.Now()
+	status, err := ep.client.JobStatus(ctx, st.jobID)
+	c.met.observePoll(time.Since(t0))
+	if err != nil {
+		if cerr := c.cancelled(ctx, err); cerr != nil {
+			return cerr
+		}
+		os.Remove(st.spool)
+		if !isAPIError(err) {
+			c.markDead(st.endpoint, err)
+			return c.demote(i, fmt.Sprintf("endpoint %s died", ep.url))
+		}
+		if serve.IsNotFound(err) {
+			return c.demote(i, fmt.Sprintf("job %s lost by %s", st.jobID, ep.url))
+		}
+		return nil // transient server hiccup: re-follow next round
+	}
+	switch status.State {
+	case serve.StateDone:
+		if res.lines != len(st.entries) {
+			os.Remove(st.spool)
+			if res.followed {
+				// A completed follow stream of a done job must carry
+				// every row — anything else is corruption, not timing.
+				return fmt.Errorf("fanout: job %s streamed %d rows for a %d-gene shard", st.jobID, res.lines, len(st.entries))
+			}
+			// A short snapshot just predates completion: refetch.
+			return c.spoolShard(ctx, i)
+		}
+		st.phase = shardJobDone
+		return nil
+	case serve.StateFailed:
+		os.Remove(st.spool)
+		return c.demote(i, fmt.Sprintf("job failed on %s: %s", ep.url, status.Error))
+	case serve.StateCancelled:
+		os.Remove(st.spool)
+		return c.demote(i, fmt.Sprintf("job cancelled on %s", ep.url))
+	default:
+		// Cut before the job finished (daemon restarted mid-job, say).
+		// Restart the stream from scratch — the spool is re-created.
+		os.Remove(st.spool)
+		if c.followEnabled(ep) {
+			c.startFollower(ctx, i)
+		}
+		return nil
+	}
+}
+
 // pollSubmitted advances every submitted shard: done jobs become
 // appendable, lost jobs and dead daemons send the shard back to the
 // queue, and a job the daemon reports failed consumes one resubmission
-// attempt (so deterministic failures stop the run).
+// attempt (so deterministic failures stop the run). A shard with a
+// live follower is not polled — its stream reports completion instead.
 func (c *coord) pollSubmitted(ctx context.Context) error {
 	for i := c.next; i < len(c.shards); i++ {
 		st := c.shards[i]
@@ -717,6 +894,18 @@ func (c *coord) pollSubmitted(ctx context.Context) error {
 			continue
 		}
 		ep := c.eps[st.endpoint]
+		if st.follow != nil && ep.alive {
+			select {
+			case res := <-st.follow.done:
+				c.stopFollower(st)
+				if err := c.finishFollow(ctx, i, res); err != nil {
+					return err
+				}
+			default:
+				// Stream still live: rows are flowing into the spool.
+			}
+			continue
+		}
 		if !ep.alive {
 			// The endpoint died while this shard was submitted (another
 			// shard's call saw the failure first): requeue without
@@ -777,6 +966,7 @@ func (c *coord) pollSubmitted(ctx context.Context) error {
 // (with MaxResubmits 0, the first loss is already fatal).
 func (c *coord) demote(shard int, reason string) error {
 	st := c.shards[shard]
+	c.stopFollower(st)
 	st.phase = shardPending
 	st.jobID = ""
 	st.resubmits++

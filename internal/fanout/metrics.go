@@ -21,6 +21,7 @@ type coordMetrics struct {
 	resubmits   *obs.Counter
 	outputBytes *obs.Gauge
 	pollSeconds *obs.Histogram
+	follows     *obs.CounterVec // event: started | fallback
 }
 
 func newCoordMetrics(r *obs.Registry) *coordMetrics {
@@ -39,6 +40,8 @@ func newCoordMetrics(r *obs.Registry) *coordMetrics {
 			"Durable size of the merged output file."),
 		pollSeconds: r.Histogram("slimcodemlx_poll_seconds",
 			"Round-trip latency of one job-status poll against a daemon.", nil),
+		follows: r.CounterVec("slimcodemlx_follow_streams_total",
+			"Follow-mode result streams (started: stream opened; fallback: endpoint lacked the capability and reverted to polling).", "event"),
 	}
 }
 

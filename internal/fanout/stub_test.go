@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/fanout"
 	"repro/internal/manifest"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -39,14 +40,19 @@ type stubJob struct {
 // makes every job report failed (a deterministic job-level failure);
 // statusDelay stalls each status answer (a slow poll to cancel into).
 type stubDaemon struct {
-	mu        sync.Mutex
-	nextID    int
-	jobs      map[string]*stubJob
-	submits   int
-	fetched   []string // job ids whose results were downloaded, in order
-	ready     func(d *stubDaemon, id string) bool
-	reject503 bool
-	failJobs  bool
+	mu          sync.Mutex
+	nextID      int
+	jobs        map[string]*stubJob
+	submits     int
+	statusCalls int
+	fetched     []string // job ids whose results were downloaded, in order
+	ready       func(d *stubDaemon, id string) bool
+	reject503   bool
+	failJobs    bool
+	// noFollow reverts the results endpoint to pre-follow behavior — no
+	// capability header, an immediate bounded body even for ?follow=1 —
+	// impersonating an old daemon for the fallback path.
+	noFollow bool
 	// failFirst makes exactly one status poll (the first to arrive)
 	// report failed, then clears itself — a deterministic single
 	// job-level failure for exercising the resubmission path.
@@ -97,6 +103,7 @@ func (d *stubDaemon) handler() http.Handler {
 		}
 		d.mu.Lock()
 		defer d.mu.Unlock()
+		d.statusCalls++
 		job, ok := d.jobs[r.PathValue("id")]
 		if !ok {
 			w.WriteHeader(http.StatusNotFound)
@@ -117,16 +124,44 @@ func (d *stubDaemon) handler() http.Handler {
 	})
 	mux.HandleFunc("GET /jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) {
 		d.mu.Lock()
-		defer d.mu.Unlock()
 		job, ok := d.jobs[r.PathValue("id")]
 		if !ok {
+			d.mu.Unlock()
 			w.WriteHeader(http.StatusNotFound)
 			return
 		}
 		d.fetched = append(d.fetched, job.id)
+		follow := !d.noFollow && r.URL.Query().Get("follow") != ""
+		genes := append([]string(nil), job.genes...)
+		id := job.id
+		d.mu.Unlock()
 		var buf bytes.Buffer
-		for _, g := range job.genes {
+		for _, g := range genes {
 			fmt.Fprintf(&buf, "{\"name\":%q}\n", g)
+		}
+		if !follow {
+			w.Write(buf.Bytes())
+			return
+		}
+		// Follow mode, stub style: advertise the capability, hold the
+		// stream open until the scripted job is "done", then deliver all
+		// rows at once and end the stream (the real daemon trickles rows;
+		// the coordinator only sees bytes-then-EOF either way).
+		w.Header().Set("X-Slimcodemld-Follow", "1")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		for {
+			d.mu.Lock()
+			ready := d.failJobs || d.ready(d, id)
+			d.mu.Unlock()
+			if ready {
+				break
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
 		}
 		w.Write(buf.Bytes())
 	})
@@ -180,8 +215,8 @@ func mergedNames(t *testing.T, path string) []string {
 }
 
 // Shard 2 finishes long before shard 0, but the merged output must
-// still be in shard order — and shard 2's results must not be fetched
-// until shards 0 and 1 are already merged.
+// still be in shard order — and each shard's results cross the wire
+// exactly once, via its follow stream.
 func TestFanoutOutOfOrderCompletion(t *testing.T) {
 	entries := stubEntries(t, 9)
 
@@ -235,9 +270,9 @@ func TestFanoutOutOfOrderCompletion(t *testing.T) {
 			t.Fatalf("merged row %d is %s, want %s (shard-order merge broken)", i, names[i], e.Name)
 		}
 	}
-	// Every shard's results were fetched exactly once: a done shard is
-	// spooled locally the moment it completes and never refetched when
-	// its turn in the merge order comes.
+	// Every shard's results were fetched exactly once: the follow stream
+	// opened at submission delivers the rows, and the spooled copy is
+	// never refetched when the shard's turn in the merge order comes.
 	for i, s := range stubs {
 		s.mu.Lock()
 		fetched := len(s.fetched)
@@ -245,6 +280,125 @@ func TestFanoutOutOfOrderCompletion(t *testing.T) {
 		if fetched != 1 {
 			t.Fatalf("shard %d's results fetched %d times, want exactly 1", i, fetched)
 		}
+	}
+}
+
+// followCount reads one slimcodemlx_follow_streams_total sample out of
+// the coordinator registry's exposition text.
+func followCount(t *testing.T, reg *obs.Registry, event string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prefix := fmt.Sprintf("slimcodemlx_follow_streams_total{event=%q} ", event)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, prefix), "%g", &v); err != nil {
+				t.Fatalf("bad sample line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// Against a follow-capable daemon the coordinator streams instead of
+// polling: one results fetch and exactly one status round trip (the
+// end-of-stream classification) per job, with zero fallbacks.
+func TestFanoutFollowReplacesPolling(t *testing.T) {
+	stub := newStubDaemon()
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	outPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	entries := stubEntries(t, 6)
+	if _, err := fanout.Run(context.Background(), fanout.Config{
+		Entries:   entries,
+		Endpoints: []string{ts.URL},
+		Shards:    2,
+		OutPath:   outPath,
+		Spec:      serve.JobSpec{MaxIter: 1, Seed: 1},
+		Poll:      5 * time.Millisecond,
+		Metrics:   reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if names := mergedNames(t, outPath); names[i] != e.Name {
+			t.Fatalf("merged row %d is %s, want %s", i, names[i], e.Name)
+		}
+	}
+	stub.mu.Lock()
+	fetched, statusCalls, jobs := len(stub.fetched), stub.statusCalls, len(stub.jobs)
+	stub.mu.Unlock()
+	if jobs != 2 {
+		t.Fatalf("daemon ran %d jobs, want 2", jobs)
+	}
+	if fetched != jobs {
+		t.Fatalf("%d results fetches for %d jobs, want one each (the follow stream)", fetched, jobs)
+	}
+	if statusCalls != jobs {
+		t.Fatalf("%d status calls for %d jobs, want exactly one each (stream-end classification, no polling)", statusCalls, jobs)
+	}
+	if got := followCount(t, reg, "started"); got != float64(jobs) {
+		t.Fatalf("follow_streams_total{event=started} = %g, want %d", got, jobs)
+	}
+	if got := followCount(t, reg, "fallback"); got != 0 {
+		t.Fatalf("follow_streams_total{event=fallback} = %g, want 0", got)
+	}
+}
+
+// Against an old daemon that ignores ?follow=1 the coordinator detects
+// the missing capability header, records one fallback, memoizes the
+// endpoint as no-follow, and still completes by classic polling — and
+// when the snapshot the probe got back turns out complete (the job was
+// already done), it is used as the spool, so no row crosses the wire
+// twice even on the fallback path.
+func TestFanoutFollowFallsBackToPolling(t *testing.T) {
+	stub := newStubDaemon()
+	stub.noFollow = true
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	outPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	entries := stubEntries(t, 6)
+	if _, err := fanout.Run(context.Background(), fanout.Config{
+		Entries:   entries,
+		Endpoints: []string{ts.URL},
+		Shards:    2,
+		OutPath:   outPath,
+		Spec:      serve.JobSpec{MaxIter: 1, Seed: 1},
+		Poll:      5 * time.Millisecond,
+		Metrics:   reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if names := mergedNames(t, outPath); names[i] != e.Name {
+			t.Fatalf("merged row %d is %s, want %s", i, names[i], e.Name)
+		}
+	}
+	stub.mu.Lock()
+	fetched := map[string]int{}
+	for _, id := range stub.fetched {
+		fetched[id]++
+	}
+	jobs := len(stub.jobs)
+	stub.mu.Unlock()
+	if jobs != 2 {
+		t.Fatalf("daemon ran %d jobs, want 2", jobs)
+	}
+	for id, n := range fetched {
+		if n != 1 {
+			t.Fatalf("job %s's results fetched %d times, want exactly 1", id, n)
+		}
+	}
+	if got := followCount(t, reg, "fallback"); got != 1 {
+		t.Fatalf("follow_streams_total{event=fallback} = %g, want exactly 1 (memoized per endpoint)", got)
 	}
 }
 

@@ -27,6 +27,10 @@ type Client struct {
 	Base string
 	// HTTP is the underlying client (nil = http.DefaultClient).
 	HTTP *http.Client
+	// Token, when set, is sent as "Authorization: Bearer <Token>" on
+	// every request — required against a daemon with tenancy on,
+	// harmless against one without (the header is ignored).
+	Token string
 }
 
 // NewClient builds a client for the daemon at base, accepting bare
@@ -70,10 +74,22 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// newRequest builds a request with the client's credentials attached.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return req, nil
+}
+
 // do issues one request and decodes the JSON response into out
 // (unless out is nil). Non-2xx responses become *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	req, err := c.newRequest(ctx, method, path, body)
 	if err != nil {
 		return err
 	}
@@ -136,11 +152,20 @@ func (c *Client) ListJobs(ctx context.Context) ([]Status, error) {
 	return out.Jobs, err
 }
 
+// ListJobsPage fetches one window of the job listing (GET
+// /jobs?offset=N&limit=M). limit <= 0 means "the rest".
+func (c *Client) ListJobsPage(ctx context.Context, offset, limit int) (JobsPage, error) {
+	var page JobsPage
+	path := fmt.Sprintf("/jobs?offset=%d&limit=%d", offset, limit)
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
 // Results streams the job's JSONL results (possibly mid-run: the
 // stream is whatever prefix is durably on disk). The caller closes the
 // reader.
 func (c *Client) Results(ctx context.Context, id string) (io.ReadCloser, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+url.PathEscape(id)+"/results", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/jobs/"+url.PathEscape(id)+"/results", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +178,35 @@ func (c *Client) Results(ctx context.Context, id string) (io.ReadCloser, error) 
 		return nil, decodeError(resp)
 	}
 	return resp.Body, nil
+}
+
+// FollowResults opens a follow-mode result stream (GET
+// /jobs/{id}/results?follow=1&offset=N): a chunked JSONL stream that
+// delivers each gene record as the daemon's checkpoint ledger makes it
+// durable, ending when the job reaches a terminal state (or early on
+// daemon shutdown — always at a line boundary, so the bytes received
+// are a clean prefix of the final results).
+//
+// The returned bool reports whether the daemon actually followed
+// (the X-Slimcodemld-Follow response header): an older daemon ignores
+// the parameters and answers with a bounded point-in-time body, and
+// the caller should fall back to polling. offset skips bytes already
+// received — how a caller resumes after an interrupted stream.
+func (c *Client) FollowResults(ctx context.Context, id string, offset int64) (io.ReadCloser, bool, error) {
+	path := fmt.Sprintf("/jobs/%s/results?follow=1&offset=%d", url.PathEscape(id), offset)
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, false, decodeError(resp)
+	}
+	return resp.Body, resp.Header.Get(followHeader) == "1", nil
 }
 
 // Cancel stops the job (DELETE /jobs/{id}) and returns its status.
@@ -180,7 +234,7 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 // (GET /metrics), unparsed — callers that want structure run it
 // through obs.CheckExposition or their own scraper.
 func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/metrics", nil)
 	if err != nil {
 		return nil, err
 	}

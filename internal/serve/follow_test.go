@@ -1,0 +1,152 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Follow mode's core contract: the bytes a follower receives over the
+// life of a job are identical to a plain GET /results after the job
+// finishes — streaming changes delivery, never content.
+func TestFollowMatchesPolledResults(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		DataDir:     t.TempDir(),
+		PoolWorkers: 1,
+		MaxActive:   1,
+		QueueDepth:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	maniPath, _ := simManifest(t, 6, 8000)
+	st := postJob(t, ts.URL, serve.JobSpec{ManifestPath: maniPath, MaxIter: 1, Seed: 1, Concurrency: 1})
+
+	c := serve.NewClient(ts.URL)
+	ctx := context.Background()
+	rc, followed, err := c.FollowResults(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !followed {
+		t.Fatal("daemon did not advertise follow capability")
+	}
+	streamed, err := io.ReadAll(rc) // ends when the job is terminal and drained
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	end := getStatus(t, ts.URL, st.ID)
+	if end.State != serve.StateDone {
+		t.Fatalf("job ended %s, want done", end.State)
+	}
+	polled := fetchResults(t, ts.URL, st.ID)
+	if !bytes.Equal(streamed, polled) {
+		t.Fatalf("followed bytes diverge from polled results\nfollow: %q\npolled: %q", streamed, polled)
+	}
+	if len(streamed) == 0 || streamed[len(streamed)-1] != '\n' {
+		t.Fatalf("followed stream does not end at a line boundary: %q", streamed)
+	}
+}
+
+// Follow mode across a daemon restart: a stream cut by shutdown ends at
+// a line boundary with every line a valid record (a clean prefix of the
+// final results), and re-following with offset=<bytes received> after
+// the restart delivers exactly the remainder.
+func TestFollowCleanPrefixAcrossRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	maniPath, _ := simManifest(t, 12, 8100)
+	spec := serve.JobSpec{ManifestPath: maniPath, MaxIter: 1, Seed: 1, Concurrency: 1}
+
+	srv1, err := serve.New(serve.Config{DataDir: dataDir, PoolWorkers: 1, MaxActive: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	st := postJob(t, ts1.URL, spec)
+
+	c1 := serve.NewClient(ts1.URL)
+	ctx := context.Background()
+	rc, followed, err := c1.FollowResults(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !followed {
+		t.Fatal("daemon did not advertise follow capability")
+	}
+	// Drain the stream from a goroutine; it ends when shutdown cuts it.
+	prefixCh := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(rc)
+		rc.Close()
+		prefixCh <- data
+	}()
+
+	// Let the job make real progress, then kill the daemon mid-stream.
+	pollUntil(t, ts1.URL, st.ID, func(s serve.Status) bool { return s.Done >= 2 }, "progress")
+	if err := srv1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var prefix []byte
+	select {
+	case prefix = <-prefixCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("follow stream did not end on daemon shutdown")
+	}
+	ts1.Close()
+
+	// Clean prefix: ends on '\n', and every line is a complete JSON
+	// record — shutdown never leaks a torn line.
+	if len(prefix) == 0 || prefix[len(prefix)-1] != '\n' {
+		t.Fatalf("interrupted stream did not end at a line boundary: %q", prefix)
+	}
+	for i, line := range bytes.Split(bytes.TrimSuffix(prefix, []byte("\n")), []byte("\n")) {
+		var v map[string]any
+		if err := json.Unmarshal(line, &v); err != nil {
+			t.Fatalf("interrupted stream line %d is not a complete record: %q", i, line)
+		}
+	}
+
+	// Restart on the same data directory; the job resumes and finishes.
+	srv2, err := serve.New(serve.Config{DataDir: dataDir, PoolWorkers: 1, MaxActive: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	c2 := serve.NewClient(ts2.URL)
+	rc2, followed, err := c2.FollowResults(ctx, st.ID, int64(len(prefix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !followed {
+		t.Fatal("restarted daemon did not advertise follow capability")
+	}
+	rest, err := io.ReadAll(rc2)
+	rc2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	polled := fetchResults(t, ts2.URL, st.ID)
+	if got := append(append([]byte(nil), prefix...), rest...); !bytes.Equal(got, polled) {
+		t.Fatalf("prefix(%d bytes) + resumed follow(%d bytes) != final results (%d bytes)",
+			len(prefix), len(rest), len(polled))
+	}
+	if end := getStatus(t, ts2.URL, st.ID); end.State != serve.StateDone {
+		t.Fatalf("job ended %s, want done", end.State)
+	}
+}

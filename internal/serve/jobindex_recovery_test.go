@@ -1,0 +1,183 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// copyDir copies a flat data directory (the daemon's layout: spec,
+// results, ledger, counts and index files side by side).
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// stateClass folds job states for the index-vs-directory-scan
+// comparison: terminal states must match exactly; queued and running
+// are the same "will run" class (recovery requeues asynchronously, so
+// a snapshot may catch either).
+func stateClass(state string) string {
+	switch state {
+	case serve.StateQueued, serve.StateRunning:
+		return "pending"
+	}
+	return state
+}
+
+// The kill-9 scenario for the job index: the daemon dies with a torn
+// final record on jobs.index. On restart the torn tail is dropped,
+// finished jobs are still recovered from the surviving records,
+// unfinished jobs revalidate and requeue to completion — and the whole
+// recovery resolves the same job set the old directory-scan path finds
+// on an identical data directory with no index at all.
+func TestJobIndexTornTailRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	doneMani, doneEntries := simManifest(t, 2, 9000)
+	bigMani, bigEntries := simManifest(t, 12, 9100)
+
+	// Incarnation 1: one job runs to completion, a second is cut off
+	// mid-run by shutdown, a third never leaves the queue.
+	srv1, err := serve.New(serve.Config{DataDir: dataDir, PoolWorkers: 1, MaxActive: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	doneJob := postJob(t, ts1.URL, serve.JobSpec{ManifestPath: doneMani, MaxIter: 1, Seed: 1, Concurrency: 1})
+	pollUntil(t, ts1.URL, doneJob.ID, func(s serve.Status) bool { return s.State == serve.StateDone }, "done")
+	cutJob := postJob(t, ts1.URL, serve.JobSpec{ManifestPath: bigMani, MaxIter: 1, Seed: 1, Concurrency: 1})
+	queuedJob := postJob(t, ts1.URL, serve.JobSpec{ManifestPath: doneMani, MaxIter: 1, Seed: 2, Concurrency: 1})
+	pollUntil(t, ts1.URL, cutJob.ID, func(s serve.Status) bool { return s.Done >= 2 }, "progress")
+	if err := srv1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// Tear the index tail the way a kill -9 mid-append would: chop the
+	// last record off mid-bytes.
+	idxPath := checkpoint.JobIndexPath(dataDir)
+	data, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 20 {
+		t.Fatalf("index implausibly small (%d bytes)", len(data))
+	}
+	if err := os.WriteFile(idxPath, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A twin directory with NO index at all exercises the old pure
+	// directory-scan recovery for the equivalence check.
+	scanDir := copyDir(t, dataDir)
+	if err := os.Remove(checkpoint.JobIndexPath(scanDir)); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := serve.New(serve.Config{DataDir: dataDir, PoolWorkers: 1, MaxActive: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown(context.Background())
+	srvScan, err := serve.New(serve.Config{DataDir: scanDir, PoolWorkers: 1, MaxActive: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvScan.Shutdown(context.Background())
+
+	// Same jobs, same classes, from both recovery paths.
+	indexJobs := map[string]string{}
+	for _, st := range srv2.Jobs() {
+		indexJobs[st.ID] = stateClass(st.State)
+	}
+	scanJobs := map[string]string{}
+	for _, st := range srvScan.Jobs() {
+		scanJobs[st.ID] = stateClass(st.State)
+	}
+	if len(indexJobs) != 3 {
+		t.Fatalf("index recovery found %d jobs, want 3: %v", len(indexJobs), indexJobs)
+	}
+	for id, class := range scanJobs {
+		if indexJobs[id] != class {
+			t.Fatalf("recovery diverges for %s: index %q vs directory scan %q\nindex: %v\nscan:  %v",
+				id, indexJobs[id], class, indexJobs, scanJobs)
+		}
+	}
+	if indexJobs[doneJob.ID] != serve.StateDone {
+		t.Fatalf("finished job recovered as %q, want done", indexJobs[doneJob.ID])
+	}
+	for _, id := range []string{cutJob.ID, queuedJob.ID} {
+		if indexJobs[id] != "pending" {
+			t.Fatalf("unfinished job %s recovered as %q, want requeued", id, indexJobs[id])
+		}
+	}
+
+	// The interrupted jobs resume and finish with output byte-identical
+	// to an uninterrupted standalone run; the finished job's results
+	// survived untouched.
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	end := pollUntil(t, ts2.URL, cutJob.ID, func(s serve.Status) bool { return s.State == serve.StateDone }, "resumed done")
+	if end.Done != len(bigEntries) || end.Failed != 0 {
+		t.Fatalf("resumed job finished %d/%d (%d failed)", end.Done, end.Total, end.Failed)
+	}
+	pollUntil(t, ts2.URL, queuedJob.ID, func(s serve.Status) bool { return s.State == serve.StateDone }, "queued job done")
+
+	wantBig := expectedJSONL(t, bigEntries, core.StreamOptions{BatchOptions: core.BatchOptions{
+		Options: core.Options{Engine: core.EngineSlim, MaxIterations: 1, Seed: 1},
+	}})
+	if got := fetchResults(t, ts2.URL, cutJob.ID); !bytes.Equal(got, wantBig) {
+		t.Fatalf("resumed job results diverge after torn-tail recovery\ngot:  %q\nwant: %q", got, wantBig)
+	}
+	wantDone := expectedJSONL(t, doneEntries, core.StreamOptions{BatchOptions: core.BatchOptions{
+		Options: core.Options{Engine: core.EngineSlim, MaxIterations: 1, Seed: 1},
+	}})
+	if got := fetchResults(t, ts2.URL, doneJob.ID); !bytes.Equal(got, wantDone) {
+		t.Fatalf("finished job results damaged by torn-tail recovery\ngot:  %q\nwant: %q", got, wantDone)
+	}
+
+	// The restarted index is coherent: a third incarnation on the same
+	// directory sees the same three jobs, all terminal now.
+	if err := srv2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts2.Close()
+	srv3, err := serve.New(serve.Config{DataDir: dataDir, PoolWorkers: 1, MaxActive: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv3.Shutdown(context.Background())
+	finals := srv3.Jobs()
+	if len(finals) != 3 {
+		t.Fatalf("third incarnation sees %d jobs, want 3", len(finals))
+	}
+	for _, st := range finals {
+		if st.State != serve.StateDone {
+			t.Fatalf("job %s is %q after full recovery, want done", st.ID, st.State)
+		}
+	}
+}

@@ -39,6 +39,25 @@ type serverMetrics struct {
 	activeJobs   *obs.Gauge
 	countHits    *obs.Counter
 	countMisses  *obs.Counter
+
+	// Follow-mode streaming (always registered: follow is not gated on
+	// tenancy).
+	followStreams *obs.Counter
+	followActive  *obs.Gauge
+
+	// Tenancy series — nil without a tenant source configured, so a
+	// tenancy-off daemon's exposition is byte-compatible with the
+	// pre-tenancy one. Label cardinality is bounded by the tenants
+	// file (maxTenants). The gauges are written only by the
+	// scheduler's onChange hook and read by both /metrics and
+	// /healthz, so the two endpoints agree by construction.
+	tenantActive     *obs.GaugeVec   // tenant
+	tenantQueued     *obs.GaugeVec   // tenant
+	tenantSubmitted  *obs.CounterVec // tenant
+	tenantDispatched *obs.CounterVec // tenant
+	tenantRefusals   *obs.CounterVec // tenant
+	authRequests     *obs.CounterVec // outcome
+	tenantReloads    *obs.CounterVec // result
 }
 
 // newServerMetrics registers the daemon's series on a fresh registry.
@@ -60,11 +79,43 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Sidecar codon-count cache hits across all jobs' shared-frequency pre-passes."),
 		countMisses: r.Counter("slimcodemld_countcache_misses_total",
 			"Sidecar codon-count cache misses across all jobs' shared-frequency pre-passes."),
+		followStreams: r.Counter("slimcodemld_follow_streams_total",
+			"Follow-mode result streams opened (GET /jobs/{id}/results?follow=1)."),
+		followActive: r.Gauge("slimcodemld_follow_streams_active",
+			"Follow-mode result streams currently open."),
 	}
+	if s.tenancy {
+		m.tenantActive = r.GaugeVec("slimcodemld_tenant_active_jobs",
+			"Jobs running right now, by tenant.", "tenant")
+		m.tenantQueued = r.GaugeVec("slimcodemld_tenant_queued_jobs",
+			"Jobs waiting in the scheduler, by tenant.", "tenant")
+		m.tenantSubmitted = r.CounterVec("slimcodemld_tenant_jobs_submitted_total",
+			"Jobs accepted, by tenant.", "tenant")
+		m.tenantDispatched = r.CounterVec("slimcodemld_tenant_jobs_dispatched_total",
+			"Jobs handed to a runner by the fair-share scheduler, by tenant.", "tenant")
+		m.tenantRefusals = r.CounterVec("slimcodemld_tenant_quota_refusals_total",
+			"Submissions refused by a tenant's max_queued quota (HTTP 429), by tenant.", "tenant")
+		m.authRequests = r.CounterVec("slimcodemld_auth_requests_total",
+			"Authentication outcomes on the /jobs routes (ok, missing, denied).", "outcome")
+		m.tenantReloads = r.CounterVec("slimcodemld_tenants_reloads_total",
+			"Tenants-file reloads, by result (ok, error).", "result")
+	}
+	// The scheduler is wired after recovery; scrapes only happen once
+	// New has returned, but guard anyway.
 	r.GaugeFunc("slimcodemld_queue_depth",
-		"Jobs waiting in the intake queue.", func() float64 { return float64(len(s.queue)) })
+		"Jobs waiting in the intake queue.", func() float64 {
+			if s.sched == nil {
+				return 0
+			}
+			return float64(s.sched.queued())
+		})
 	r.GaugeFunc("slimcodemld_queue_capacity",
-		"Intake queue capacity (submissions beyond it are refused with 503).", func() float64 { return float64(cap(s.queue)) })
+		"Intake queue capacity (submissions beyond it are refused with 503).", func() float64 {
+			if s.sched == nil {
+				return 0
+			}
+			return float64(s.sched.capacityCap())
+		})
 	r.GaugeFunc("slimcodemld_jobs",
 		"Jobs the daemon currently holds, in any state.", func() float64 {
 			s.mu.Lock()
@@ -100,6 +151,78 @@ func newServerMetrics(s *Server) *serverMetrics {
 	return m
 }
 
+// tenantOccupancy is the scheduler's onChange hook: the single write
+// path of the per-tenant occupancy gauges. /healthz reads the same
+// gauges back, so the two surfaces cannot drift.
+func (m *serverMetrics) tenantOccupancy(tenant string, active, queued int) {
+	if m.tenantActive == nil {
+		return
+	}
+	m.tenantActive.With(tenant).Set(float64(active))
+	m.tenantQueued.With(tenant).Set(float64(queued))
+}
+
+// tenantDispatch is the scheduler's onDispatch hook.
+func (m *serverMetrics) tenantDispatch(tenant string) {
+	if m.tenantDispatched == nil {
+		return
+	}
+	m.tenantDispatched.With(tenant).Inc()
+}
+
+// tenantSubmit counts an accepted submission for its tenant.
+func (m *serverMetrics) tenantSubmit(tenant string, tenancy bool) {
+	if m.tenantSubmitted == nil || !tenancy {
+		return
+	}
+	m.tenantSubmitted.With(tenant).Inc()
+}
+
+// tenantQuotaRefusal counts a 429.
+func (m *serverMetrics) tenantQuotaRefusal(tenant string) {
+	if m.tenantRefusals == nil {
+		return
+	}
+	m.tenantRefusals.With(tenant).Inc()
+}
+
+// authOutcome counts one auth decision (ok / missing / denied).
+func (m *serverMetrics) authOutcome(outcome string) {
+	if m.authRequests == nil {
+		return
+	}
+	m.authRequests.With(outcome).Inc()
+}
+
+// tenantReload counts a tenants-file reload attempt.
+func (m *serverMetrics) tenantReload(ok bool) {
+	if m.tenantReloads == nil {
+		return
+	}
+	result := "error"
+	if ok {
+		result = "ok"
+	}
+	m.tenantReloads.With(result).Inc()
+}
+
+// touchTenants pre-creates every configured tenant's series at zero,
+// so a scrape right after startup (or a reload that adds a tenant)
+// already exposes the full per-tenant surface instead of series
+// popping into existence at first use.
+func (m *serverMetrics) touchTenants(names []string) {
+	if m.tenantActive == nil {
+		return
+	}
+	for _, name := range names {
+		m.tenantActive.With(name).Add(0)
+		m.tenantQueued.With(name).Add(0)
+		m.tenantSubmitted.With(name).Add(0)
+		m.tenantDispatched.With(name).Add(0)
+		m.tenantRefusals.With(name).Add(0)
+	}
+}
+
 // statusWriter captures the status code the handler wrote.
 type statusWriter struct {
 	http.ResponseWriter
@@ -109,6 +232,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so follow-mode streaming
+// works through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps the API mux with request counting and latency

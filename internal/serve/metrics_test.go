@@ -152,6 +152,148 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestTenantMetricsHealthzAgreement extends the healthz↔metrics
+// contract to the per-tenant series: every number in the /healthz
+// tenants section equals the corresponding slimcodemld_tenant_* sample,
+// because /healthz reads the very gauges and counters the scheduler
+// hooks write. Auth outcomes are counted, and an idle tenant's series
+// pre-exist at zero rather than popping up on first use.
+func TestTenantMetricsHealthzAgreement(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		DataDir:     t.TempDir(),
+		PoolWorkers: 1,
+		MaxActive:   1,
+		QueueDepth:  4,
+		Tenants: []serve.Tenant{
+			{Name: "alice", Token: "tok-alice-8f3a2b91", MaxQueued: 1},
+			{Name: "bob", Token: "tok-bob-55e01c77"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	alice := serve.NewClient(ts.URL)
+	alice.Token = "tok-alice-8f3a2b91"
+	ctx := context.Background()
+
+	maniPath, _ := simManifest(t, 1, 540)
+	spec := serve.JobSpec{ManifestPath: maniPath, MaxIter: 1, Seed: 1}
+	st, err := alice.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate alice's max_queued=1 for a quota refusal. The first job
+	// may already be running (not queued), so submit until the 429.
+	refused := false
+	for i := 0; i < 3 && !refused; i++ {
+		if _, err := alice.Submit(ctx, spec); err != nil {
+			if !strings.Contains(err.Error(), "429") {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			refused = true
+		}
+	}
+	// Unauthenticated and wrong-token probes for the auth counters.
+	mallory := serve.NewClient(ts.URL)
+	if _, err := mallory.ListJobs(ctx); err == nil {
+		t.Fatal("unauthenticated list succeeded")
+	}
+	mallory.Token = "tok-wrong-00000000"
+	if _, err := mallory.ListJobs(ctx); err == nil {
+		t.Fatal("wrong-token list succeeded")
+	}
+
+	// Quiesce before comparing the two surfaces.
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		s, err := alice.JobStatus(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.State == serve.StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", s)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	jobs, err := alice.ListJobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		for {
+			s, err := alice.JobStatus(ctx, j.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.State == serve.StateDone {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", j.ID)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	cl := serve.NewClient(ts.URL)
+	health, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckExposition(exp); err != nil {
+		t.Fatalf("tenancy /metrics not conformant: %v\n%s", err, exp)
+	}
+
+	if len(health.Tenants) != 2 {
+		t.Fatalf("healthz tenants = %+v, want alice and bob", health.Tenants)
+	}
+	for _, th := range health.Tenants {
+		for sample, want := range map[string]int{
+			`slimcodemld_tenant_active_jobs{tenant="` + th.Name + `"}`:           th.Active,
+			`slimcodemld_tenant_queued_jobs{tenant="` + th.Name + `"}`:           th.Queued,
+			`slimcodemld_tenant_jobs_submitted_total{tenant="` + th.Name + `"}`:  th.Submitted,
+			`slimcodemld_tenant_jobs_dispatched_total{tenant="` + th.Name + `"}`: th.Dispatched,
+			`slimcodemld_tenant_quota_refusals_total{tenant="` + th.Name + `"}`:  th.QuotaRefusals,
+		} {
+			if got := metricValue(t, exp, sample); got != float64(want) {
+				t.Errorf("%s = %v but /healthz reports %d", sample, got, want)
+			}
+		}
+	}
+	// The numbers reconcile with what the test did — not vacuous zeroes.
+	byName := map[string]serve.TenantHealth{}
+	for _, th := range health.Tenants {
+		byName[th.Name] = th
+	}
+	if a := byName["alice"]; a.Submitted < 1 || a.QuotaRefusals < 1 || a.Dispatched != a.Submitted {
+		t.Errorf("alice's counters don't reconcile: %+v", a)
+	}
+	// bob never showed up, yet his series are pre-created at zero.
+	if b := byName["bob"]; b.Submitted != 0 || b.QuotaRefusals != 0 {
+		t.Errorf("idle bob has nonzero counters: %+v", b)
+	}
+	for sample, wantMin := range map[string]float64{
+		`slimcodemld_auth_requests_total{outcome="ok"}`:      1,
+		`slimcodemld_auth_requests_total{outcome="missing"}`: 1,
+		`slimcodemld_auth_requests_total{outcome="denied"}`:  1,
+	} {
+		if got := metricValue(t, exp, sample); got < wantMin {
+			t.Errorf("%s = %v, want >= %v", sample, got, wantMin)
+		}
+	}
+}
+
 // TestStructuredEvents checks the daemon's slog surface: the retention
 // sweeper and restart recovery emit structured events naming the job,
 // and a corrupt persisted spec surfaces as a revalidation refusal.

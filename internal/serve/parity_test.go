@@ -1,0 +1,200 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// rawJSON fetches a URL and returns the undecoded body — the wire
+// bytes, for shape assertions.
+func rawJSON(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// keysOf walks a decoded JSON value collecting every object key.
+func keysOf(v any, into map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			into[k] = true
+			keysOf(val, into)
+		}
+	case []any:
+		for _, val := range x {
+			keysOf(val, into)
+		}
+	}
+}
+
+// A daemon started without any tenant source must be wire-compatible
+// with the pre-tenancy daemon: no auth demanded (and a stray
+// Authorization header ignored), no tenant keys anywhere in the JSON
+// surfaces, no tenant/auth series on /metrics, and no follow header on
+// a plain results GET. This is the parity contract the opt-in feature
+// is gated on.
+func TestTenancyOffWireParity(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		DataDir:     t.TempDir(),
+		PoolWorkers: 1,
+		MaxActive:   1,
+		QueueDepth:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	maniPath, _ := simManifest(t, 2, 7000)
+	st := postJob(t, ts.URL, serve.JobSpec{ManifestPath: maniPath, MaxIter: 1, Seed: 1})
+	pollUntil(t, ts.URL, st.ID, func(s serve.Status) bool { return s.State == serve.StateDone }, "done")
+
+	// A client that sends a token anyway is served, not challenged.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer some-leftover-token")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request with stray token: %s, want 200 (tenancy off ignores auth)", resp.Status)
+	}
+
+	// No tenant-flavored keys on any JSON surface.
+	for _, path := range []string{"/jobs", "/jobs/" + st.ID, "/healthz"} {
+		var v any
+		data := rawJSON(t, ts.URL+path)
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		keys := map[string]bool{}
+		keysOf(v, keys)
+		for _, forbidden := range []string{"tenant", "tenants", "quota_refusals"} {
+			if keys[forbidden] {
+				t.Fatalf("%s exposes key %q with tenancy off:\n%s", path, forbidden, data)
+			}
+		}
+	}
+
+	// GET /jobs without parameters keeps the exact original envelope:
+	// one top-level "jobs" key, no pagination fields.
+	var envelope map[string]json.RawMessage
+	if err := json.Unmarshal(rawJSON(t, ts.URL+"/jobs"), &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if len(envelope) != 1 || envelope["jobs"] == nil {
+		t.Fatalf("unpaginated /jobs envelope changed: %v", envelope)
+	}
+
+	// No tenancy series in the exposition.
+	metrics := string(rawJSON(t, ts.URL+"/metrics"))
+	for _, forbidden := range []string{
+		"slimcodemld_tenant_", "slimcodemld_auth_requests_total", "slimcodemld_tenants_reloads_total",
+	} {
+		if strings.Contains(metrics, forbidden) {
+			t.Fatalf("/metrics exposes %q with tenancy off", forbidden)
+		}
+	}
+
+	// A plain results GET carries no follow capability header (the
+	// header appears only on an actual follow stream).
+	resp, err = http.Get(ts.URL + "/jobs/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Slimcodemld-Follow"); got != "" {
+		t.Fatalf("plain results GET has follow header %q", got)
+	}
+}
+
+// Pagination is opt-in per request and scoped like the listing: window
+// arithmetic over the same submission order.
+func TestJobsPagination(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		DataDir:     t.TempDir(),
+		PoolWorkers: 1,
+		MaxActive:   1,
+		QueueDepth:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	maniPath, _ := simManifest(t, 1, 7100)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		st := postJob(t, ts.URL, serve.JobSpec{ManifestPath: maniPath, MaxIter: 1, Seed: 1})
+		ids = append(ids, st.ID)
+	}
+	c := serve.NewClient(ts.URL)
+	ctx := context.Background()
+
+	var paged []string
+	offset := 0
+	for {
+		page, err := c.ListJobsPage(ctx, offset, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != 5 {
+			t.Fatalf("page.Total = %d, want 5", page.Total)
+		}
+		for _, st := range page.Jobs {
+			paged = append(paged, st.ID)
+		}
+		if page.NextOffset == 0 {
+			break
+		}
+		offset = page.NextOffset
+	}
+	if len(paged) != 5 {
+		t.Fatalf("pages yielded %d jobs, want 5: %v", len(paged), paged)
+	}
+	for i := range ids {
+		if paged[i] != ids[i] {
+			t.Fatalf("paged order %v diverges from submission order %v", paged, ids)
+		}
+	}
+
+	// Bad window parameters are 400s.
+	for _, q := range []string{"offset=-1", "limit=x", "offset=1e3"} {
+		resp, err := http.Get(ts.URL + "/jobs?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /jobs?%s: %s, want 400", q, resp.Status)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// schedJob builds a bare job for scheduler tests — the scheduler only
+// ever touches id and tenant.
+func schedJob(id, tenant string) *Job {
+	return &Job{id: id, tenant: tenant}
+}
+
+// drainOrder dispatches n jobs, releasing each tenant slot immediately
+// (as if every job finished instantly), and returns the ids in
+// dispatch order.
+func drainOrder(t *testing.T, q *scheduler, n int) []string {
+	t.Helper()
+	var out []string
+	for i := 0; i < n; i++ {
+		j := q.dispatch()
+		if j == nil {
+			t.Fatalf("dispatch %d: scheduler closed early (got %v)", i, out)
+		}
+		out = append(out, j.id)
+		q.release(j.tenant)
+	}
+	return out
+}
+
+func wantOrder(t *testing.T, got, want []string) {
+	t.Helper()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order:\n got %v\nwant %v", got, want)
+	}
+}
+
+// The documented policy: first tenant strictly after the
+// last-dispatched in cyclic lexicographic order; FIFO within a tenant;
+// a fresh scheduler acts as if last were the empty name.
+func TestSchedulerRoundRobinAcrossTenants(t *testing.T) {
+	q := newScheduler(16, nil)
+	for _, j := range []*Job{
+		schedJob("a1", "alice"), schedJob("a2", "alice"),
+		schedJob("b1", "bob"), schedJob("b2", "bob"),
+		schedJob("c1", "carol"),
+	} {
+		if err := q.enqueue(j, false); err != nil {
+			t.Fatalf("enqueue %s: %v", j.id, err)
+		}
+	}
+	// alice → bob → carol → alice → bob.
+	wantOrder(t, drainOrder(t, q, 5), []string{"a1", "b1", "c1", "a2", "b2"})
+}
+
+func TestSchedulerFIFOWithinTenant(t *testing.T) {
+	q := newScheduler(16, nil)
+	for i := 1; i <= 4; i++ {
+		if err := q.enqueue(schedJob(fmt.Sprintf("j%d", i), "alice"), false); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	wantOrder(t, drainOrder(t, q, 4), []string{"j1", "j2", "j3", "j4"})
+}
+
+// With tenancy off every job has the empty tenant name: the policy must
+// degenerate to the old daemon's single FIFO queue.
+func TestSchedulerParitySingleFIFO(t *testing.T) {
+	q := newScheduler(16, nil)
+	for i := 1; i <= 5; i++ {
+		if err := q.enqueue(schedJob(fmt.Sprintf("j%d", i), ""), false); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	wantOrder(t, drainOrder(t, q, 5), []string{"j1", "j2", "j3", "j4", "j5"})
+}
+
+// A tenant at its max_active cap is skipped; its queued work dispatches
+// only after a release.
+func TestSchedulerMaxActiveSkip(t *testing.T) {
+	limits := func(tenant string) (int, int) {
+		if tenant == "alice" {
+			return 1, 0
+		}
+		return 0, 0
+	}
+	q := newScheduler(16, limits)
+	for _, j := range []*Job{
+		schedJob("a1", "alice"), schedJob("a2", "alice"), schedJob("b1", "bob"),
+	} {
+		if err := q.enqueue(j, false); err != nil {
+			t.Fatalf("enqueue %s: %v", j.id, err)
+		}
+	}
+	j1 := q.dispatch() // alice first (fresh scheduler)
+	if j1.id != "a1" {
+		t.Fatalf("first dispatch = %s, want a1", j1.id)
+	}
+	j2 := q.dispatch() // alice is capped: a2 skipped, bob's turn
+	if j2.id != "b1" {
+		t.Fatalf("second dispatch = %s, want b1 (alice at max_active)", j2.id)
+	}
+	// No further job is eligible until alice releases.
+	done := make(chan *Job, 1)
+	go func() { done <- q.dispatch() }()
+	select {
+	case j := <-done:
+		t.Fatalf("dispatch returned %s while alice was capped", j.id)
+	case <-time.After(50 * time.Millisecond):
+	}
+	q.release("alice")
+	select {
+	case j := <-done:
+		if j.id != "a2" {
+			t.Fatalf("post-release dispatch = %s, want a2", j.id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dispatch did not wake after release")
+	}
+}
+
+func TestSchedulerQuotas(t *testing.T) {
+	limits := func(tenant string) (int, int) {
+		if tenant == "alice" {
+			return 0, 2
+		}
+		return 0, 0
+	}
+	q := newScheduler(3, limits)
+	if err := q.enqueue(schedJob("a1", "alice"), false); err != nil {
+		t.Fatalf("a1: %v", err)
+	}
+	if err := q.enqueue(schedJob("a2", "alice"), false); err != nil {
+		t.Fatalf("a2: %v", err)
+	}
+	// alice's max_queued=2 → 429-class error, queue not touched.
+	if err := q.enqueue(schedJob("a3", "alice"), false); !errors.Is(err, ErrTenantQueueFull) {
+		t.Fatalf("a3: got %v, want ErrTenantQueueFull", err)
+	}
+	// Global capacity still admits other tenants...
+	if err := q.enqueue(schedJob("b1", "bob"), false); err != nil {
+		t.Fatalf("b1: %v", err)
+	}
+	// ...until it is full for everyone.
+	if err := q.enqueue(schedJob("b2", "bob"), false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("b2: got %v, want ErrQueueFull", err)
+	}
+	// force bypasses both tiers (recovery requeues).
+	if err := q.enqueue(schedJob("r1", "alice"), true); err != nil {
+		t.Fatalf("forced enqueue: %v", err)
+	}
+	if got := q.queued(); got != 4 {
+		t.Fatalf("queued = %d, want 4", got)
+	}
+}
+
+func TestSchedulerRemove(t *testing.T) {
+	q := newScheduler(16, nil)
+	a1, a2 := schedJob("a1", "alice"), schedJob("a2", "alice")
+	for _, j := range []*Job{a1, a2} {
+		if err := q.enqueue(j, false); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	if !q.remove(a1) {
+		t.Fatal("remove(a1) = false, want true")
+	}
+	if q.remove(a1) {
+		t.Fatal("second remove(a1) = true, want false")
+	}
+	if got := q.queued(); got != 1 {
+		t.Fatalf("queued = %d, want 1", got)
+	}
+	if j := q.dispatch(); j.id != "a2" {
+		t.Fatalf("dispatch = %s, want a2", j.id)
+	}
+}
+
+func TestSchedulerCloseAndDrain(t *testing.T) {
+	q := newScheduler(16, nil)
+	for _, j := range []*Job{
+		schedJob("b1", "bob"), schedJob("a1", "alice"),
+	} {
+		if err := q.enqueue(j, false); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	waiting := make(chan *Job, 1)
+	go func() {
+		// Park a dispatcher on an ineligible queue state by consuming
+		// both jobs first from this side? No — just verify close wakes
+		// a blocked dispatcher below after draining via close+drain.
+		waiting <- q.dispatch()
+	}()
+	// The goroutine above will grab one job; take the other here.
+	j := q.dispatch()
+	got := map[string]bool{j.id: true}
+	select {
+	case j2 := <-waiting:
+		got[j2.id] = true
+	case <-time.After(2 * time.Second):
+		t.Fatal("dispatcher goroutine starved")
+	}
+	if !got["a1"] || !got["b1"] {
+		t.Fatalf("dispatched %v, want a1 and b1", got)
+	}
+	// Queue is empty; a blocked dispatcher must return nil on close.
+	nilCh := make(chan *Job, 1)
+	go func() { nilCh <- q.dispatch() }()
+	time.Sleep(20 * time.Millisecond)
+	q.close()
+	select {
+	case j := <-nilCh:
+		if j != nil {
+			t.Fatalf("dispatch after close = %v, want nil", j.id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake the dispatcher")
+	}
+	// enqueue after close refuses; drain returns the leftovers sorted
+	// by tenant.
+	if err := q.enqueue(schedJob("x", "zed"), false); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("enqueue after close: got %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestSchedulerDrainReturnsQueued(t *testing.T) {
+	q := newScheduler(16, nil)
+	for _, j := range []*Job{
+		schedJob("z1", "zed"), schedJob("a1", "alice"), schedJob("z2", "zed"),
+	} {
+		if err := q.enqueue(j, false); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	q.close()
+	var ids []string
+	for _, j := range q.drain() {
+		ids = append(ids, j.id)
+	}
+	// Sorted by tenant (alice before zed), FIFO within.
+	wantOrder(t, ids, []string{"a1", "z1", "z2"})
+	if got := q.queued(); got != 0 {
+		t.Fatalf("queued after drain = %d, want 0", got)
+	}
+}

@@ -30,6 +30,17 @@
 //     means the daemon shut down first — the job resumes on the next
 //     start. Both stop promptly: no new gene starts, in-flight genes
 //     drain.
+//   - Job index: every lifecycle transition is appended to a jobs.index
+//     ledger in the data directory (checkpoint.JobIndex), so restart
+//     recovery reads one file instead of revalidating every historical
+//     job's ledger. The index is derived state — corruption, deletion
+//     or a pre-index data directory all fall back to the directory
+//     scan, which also reconciles jobs the index missed (a torn tail).
+//   - Multi-tenancy is opt-in (Config.TenantsPath / Config.Tenants):
+//     bearer-token auth on the /jobs routes, per-tenant admission
+//     quotas, and deterministic round-robin fair-share scheduling
+//     (sched.go). Without it the daemon authenticates nothing, queues
+//     FIFO, and keeps its exact pre-tenancy wire shapes.
 package serve
 
 import (
@@ -44,6 +55,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/align"
@@ -98,6 +110,19 @@ type Config struct {
 	// server never falls back to the process-global logger, so
 	// embedding tests stay silent by default.
 	Log *slog.Logger
+	// TenantsPath, when non-empty, turns multi-tenancy on: the file
+	// (see ParseTenants for the format) defines the tenants, their
+	// bearer tokens and their quotas. The /jobs routes then require
+	// authentication, tenants see only their own jobs, and the
+	// scheduler round-robins across tenants. The file is hot-reloaded
+	// when its mtime changes (and via ReloadTenants / SIGHUP in
+	// slimcodemld); a reload that fails to parse keeps the previous
+	// set. Empty (and Tenants nil) leaves the daemon exactly as
+	// before: no auth, one FIFO queue, unchanged wire shapes.
+	TenantsPath string
+	// Tenants injects a static tenant set directly — the embedding/test
+	// path. Mutually exclusive with TenantsPath (no file, no reloads).
+	Tenants []Tenant
 }
 
 func (c *Config) fill() {
@@ -117,6 +142,12 @@ var (
 	ErrQueueFull    = errors.New("serve: job queue is full")
 	ErrShuttingDown = errors.New("serve: server is shutting down")
 )
+
+// ErrTenantQueueFull is Submit refusing a job because the tenant's own
+// max_queued quota is exhausted while the global queue still has room.
+// The HTTP layer maps it to 429 — the caller specifically is over
+// quota; the daemon is not overloaded.
+var ErrTenantQueueFull = errors.New("serve: tenant queue quota exceeded")
 
 // ErrJobActive is Purge refusing a queued or running job; cancel it
 // first. The HTTP layer maps it to 409.
@@ -138,6 +169,25 @@ type Health struct {
 	// cache directory is configured — the persistent store's counters,
 	// so warm-vs-cold behavior is observable without log spelunking.
 	Cache *CacheHealth `json:"cache,omitempty"`
+	// Tenants reports per-tenant occupancy and admission counters;
+	// present only with tenancy configured, so the pre-tenancy wire
+	// shape is unchanged. Every number is read from the same metric
+	// series /metrics exposes, so the two endpoints agree by
+	// construction (the CacheHealth discipline).
+	Tenants []TenantHealth `json:"tenants,omitempty"`
+}
+
+// TenantHealth is one tenant's row in the /healthz payload.
+type TenantHealth struct {
+	Name string `json:"name"`
+	// Active and Queued are the tenant's current scheduler occupancy.
+	Active int `json:"active"`
+	Queued int `json:"queued"`
+	// Submitted, Dispatched and QuotaRefusals are cumulative over the
+	// daemon's lifetime.
+	Submitted     int `json:"submitted"`
+	Dispatched    int `json:"dispatched"`
+	QuotaRefusals int `json:"quota_refusals"`
 }
 
 // CacheHealth is the cache section of the /healthz payload. Every
@@ -173,6 +223,13 @@ type JobSpec struct {
 	// relative paths resolve against BaseDir.
 	Manifest string `json:"manifest,omitempty"`
 	BaseDir  string `json:"base_dir,omitempty"`
+
+	// Tenant is the owning tenant's name. It is server-assigned: the
+	// HTTP layer overwrites whatever the client sent with the
+	// authenticated tenant (or clears it with tenancy off), so a
+	// client can neither spoof another tenant nor invent one. Persisted
+	// with the spec so ownership survives restarts.
+	Tenant string `json:"tenant,omitempty"`
 
 	Engine           string `json:"engine,omitempty"` // baseline|slim|slim-sym|slim-bundled (default slim)
 	Freq             string `json:"freq,omitempty"`   // f61|f3x4|uniform (default f61)
@@ -220,6 +277,7 @@ const (
 // Job is one submitted analysis and its progress. All fields behind mu.
 type Job struct {
 	id      string
+	tenant  string // owning tenant ("" = tenancy off); immutable
 	spec    JobSpec
 	entries []manifest.Entry
 	digest  string // manifest.Digest(entries); immutable after creation
@@ -243,8 +301,11 @@ type Job struct {
 
 // Status is the wire representation of a job's state.
 type Status struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
+	ID string `json:"id"`
+	// Tenant is the owning tenant; absent with tenancy off, so the
+	// pre-tenancy wire shape is unchanged.
+	Tenant string `json:"tenant,omitempty"`
+	State  string `json:"state"`
 	// Total, Done and Failed are gene counts; Done includes genes
 	// checkpointed by earlier incarnations of a resumed job.
 	Total  int    `json:"total"`
@@ -273,7 +334,7 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID: j.id, State: j.state,
+		ID: j.id, Tenant: j.tenant, State: j.state,
 		Total: j.total, Done: j.done, Failed: j.failed,
 		Error:          j.errMsg,
 		ManifestDigest: j.digest,
@@ -306,15 +367,34 @@ type Server struct {
 	met   *serverMetrics
 	log   *slog.Logger
 
+	// tenancy is fixed at New: per-tenant series and auth exist iff a
+	// tenant source was configured. The tenant *set* behind the atomic
+	// pointer hot-reloads; nil means no set loaded (refuse everything).
+	tenancy bool
+	tenants atomic.Pointer[tenantSet]
+
+	idx *checkpoint.JobIndex
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string
 	nextID int
 	closed bool
 
-	queue chan *Job
+	sched *scheduler
 	quit  chan struct{}
 	wg    sync.WaitGroup
+}
+
+// jobSeq parses the daemon's job-ID convention ("j%06d"), reporting
+// the sequence number — the checkpoint.JobIndex hook that keeps IDs
+// from being reissued.
+func jobSeq(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%06d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // New builds a server, recovers any unfinished jobs found in the data
@@ -331,12 +411,32 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	if cfg.TenantsPath != "" && len(cfg.Tenants) > 0 {
+		return nil, fmt.Errorf("serve: Config.TenantsPath and Config.Tenants are mutually exclusive")
+	}
 	s := &Server{
 		cfg:   cfg,
 		pool:  lik.NewPool(cfg.PoolWorkers),
 		cache: lik.NewDecompCache(cfg.CacheSize),
 		jobs:  make(map[string]*Job),
 		quit:  make(chan struct{}),
+	}
+	switch {
+	case cfg.TenantsPath != "":
+		ts, err := LoadTenants(cfg.TenantsPath)
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.tenancy = true
+		s.tenants.Store(newTenantSet(ts))
+	case len(cfg.Tenants) > 0:
+		if err := checkTenants(cfg.Tenants); err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.tenancy = true
+		s.tenants.Store(newTenantSet(cfg.Tenants))
 	}
 	if cfg.CacheDir != "" {
 		store, err := persistcache.Open(cfg.CacheDir)
@@ -365,9 +465,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	// The queue must hold every recovered unfinished job plus the
 	// configured intake depth.
-	s.queue = make(chan *Job, cfg.QueueDepth+len(recovered))
+	s.sched = newScheduler(cfg.QueueDepth+len(recovered), s.tenantLimits)
+	s.sched.onChange = s.met.tenantOccupancy
+	s.sched.onDispatch = s.met.tenantDispatch
+	s.met.touchTenants(s.currentTenantNames())
 	for _, job := range recovered {
-		s.queue <- job
+		// force: the capacity was sized to hold them, and a shrunk quota
+		// must never orphan a recovered job.
+		s.sched.enqueue(job, true)
 	}
 	for i := 0; i < cfg.MaxActive; i++ {
 		s.wg.Add(1)
@@ -377,8 +482,85 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.sweeper()
 	}
+	if cfg.TenantsPath != "" {
+		s.wg.Add(1)
+		go s.tenantsWatcher()
+	}
 	return s, nil
 }
+
+// tenantLimits resolves a tenant's quotas against the current
+// (hot-reloadable) tenant set — the scheduler's admission hook.
+func (s *Server) tenantLimits(name string) (maxActive, maxQueued int) {
+	ts := s.tenants.Load()
+	if ts == nil {
+		return 0, 0
+	}
+	return ts.limits(name)
+}
+
+// currentTenantNames returns the configured tenant names (nil with
+// tenancy off).
+func (s *Server) currentTenantNames() []string {
+	ts := s.tenants.Load()
+	if ts == nil {
+		return nil
+	}
+	return ts.names()
+}
+
+// ReloadTenants re-reads the tenants file. A file that fails to load
+// or parse is an error and keeps the previous tenant set — a bad edit
+// must not lock every client out. New quotas apply to subsequent
+// admission and dispatch decisions immediately.
+func (s *Server) ReloadTenants() error {
+	if s.cfg.TenantsPath == "" {
+		return fmt.Errorf("serve: no tenants file configured")
+	}
+	ts, err := LoadTenants(s.cfg.TenantsPath)
+	if err != nil {
+		s.met.tenantReload(false)
+		return err
+	}
+	s.tenants.Store(newTenantSet(ts))
+	s.met.tenantReload(true)
+	s.met.touchTenants(s.currentTenantNames())
+	s.log.Info("tenants reloaded", "tenants", len(ts))
+	return nil
+}
+
+// tenantsWatcher hot-reloads the tenants file when its mtime changes,
+// so token rotation and quota edits need no restart (SIGHUP in
+// slimcodemld forces the same reload).
+func (s *Server) tenantsWatcher() {
+	defer s.wg.Done()
+	var last time.Time
+	if info, err := os.Stat(s.cfg.TenantsPath); err == nil {
+		last = info.ModTime()
+	}
+	t := time.NewTicker(tenantsPollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			info, err := os.Stat(s.cfg.TenantsPath)
+			if err != nil || info.ModTime().Equal(last) {
+				continue
+			}
+			last = info.ModTime()
+			if err := s.ReloadTenants(); err != nil {
+				s.log.Warn("tenants reload failed; keeping previous tenant set",
+					"path", s.cfg.TenantsPath, "error", err)
+			}
+		}
+	}
+}
+
+// tenantsPollInterval is how often the watcher stats the tenants file
+// (a var so tests can tighten it).
+var tenantsPollInterval = time.Second
 
 // Purge removes a finished job entirely: its results, ledger, counts
 // and spec files are deleted from the data directory and the job
@@ -419,6 +601,11 @@ func (s *Server) purge(id, event string) error {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
+	}
+	if err := s.idx.Purge(id); err != nil {
+		// The index is derived state; a failed tombstone only means the
+		// next restart re-reconciles this id against the (gone) spec file.
+		s.log.Warn("job index purge append failed", "job", id, "error", err)
 	}
 	s.met.jobEvents.With(event).Inc()
 	if event == eventSwept {
@@ -511,20 +698,87 @@ func (s *Server) cacheHealth() *CacheHealth {
 	return ch
 }
 
-// Jobs returns every job's status in submission order.
-func (s *Server) Jobs() []Status {
-	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	jobs := make([]*Job, len(ids))
-	for i, id := range ids {
-		jobs[i] = s.jobs[id]
+// tenantHealth snapshots the per-tenant rows for /healthz, reading
+// exactly the metric series /metrics exposes (the CacheHealth
+// agreement discipline). Nil with tenancy off, keeping the
+// pre-tenancy wire shape.
+func (s *Server) tenantHealth() []TenantHealth {
+	if !s.tenancy {
+		return nil
 	}
-	s.mu.Unlock()
+	names := s.currentTenantNames()
+	out := make([]TenantHealth, 0, len(names))
+	for _, name := range names {
+		out = append(out, TenantHealth{
+			Name:          name,
+			Active:        int(s.met.tenantActive.With(name).Value()),
+			Queued:        int(s.met.tenantQueued.With(name).Value()),
+			Submitted:     int(s.met.tenantSubmitted.With(name).Value()),
+			Dispatched:    int(s.met.tenantDispatched.With(name).Value()),
+			QuotaRefusals: int(s.met.tenantRefusals.With(name).Value()),
+		})
+	}
+	return out
+}
+
+// jobsSnapshot collects the jobs in submission order; with scoped set
+// only the tenant's own.
+func (s *Server) jobsSnapshot(tenant string, scoped bool) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if scoped && j.tenant != tenant {
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+func statuses(jobs []*Job) []Status {
 	out := make([]Status, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.Status()
 	}
 	return out
+}
+
+// Jobs returns every job's status in submission order.
+func (s *Server) Jobs() []Status { return statuses(s.jobsSnapshot("", false)) }
+
+// JobsPage is one window of a paginated listing.
+type JobsPage struct {
+	Jobs []Status `json:"jobs"`
+	// Total is the full (tenant-visible) job count; NextOffset is the
+	// offset of the next window, present only when one exists.
+	Total      int `json:"total"`
+	NextOffset int `json:"next_offset,omitempty"`
+}
+
+// JobsPage lists the window [offset, offset+limit) of the jobs visible
+// under (tenant, scoped) — how GET /jobs?offset=&limit= serves a data
+// directory holding millions of historical jobs without marshalling
+// them all per request. limit <= 0 means no bound.
+func (s *Server) JobsPage(tenant string, scoped bool, offset, limit int) JobsPage {
+	jobs := s.jobsSnapshot(tenant, scoped)
+	total := len(jobs)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	page := JobsPage{Jobs: statuses(jobs[offset:end]), Total: total}
+	if end < total {
+		page.NextOffset = end
+	}
+	return page
 }
 
 // Job returns the job by id.
@@ -538,7 +792,9 @@ func (s *Server) Job(id string) (*Job, bool) {
 // ResultsPath returns the job's JSONL results file.
 func (j *Job) ResultsPath() string { return j.outPath }
 
-// Submit validates the spec, persists it, and enqueues the job.
+// Submit validates the spec, persists it, and enqueues the job. The
+// spec's Tenant field is trusted here — the HTTP layer has already
+// overwritten it with the authenticated tenant (or cleared it).
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	entries, opts, err := s.resolveSpec(spec)
 	if err != nil {
@@ -555,17 +811,29 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	job.submitted = time.Now()
 	// Reserve a queue slot before persisting so a full queue refuses
 	// cleanly.
-	select {
-	case s.queue <- job:
-	default:
+	if err := s.sched.enqueue(job, false); err != nil {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w (%d queued)", ErrQueueFull, cap(s.queue))
+		switch {
+		case errors.Is(err, ErrTenantQueueFull):
+			s.met.tenantQuotaRefusal(job.tenant)
+			_, maxQueued := s.tenantLimits(job.tenant)
+			return nil, fmt.Errorf("%w: tenant %s has %d jobs queued (max_queued)",
+				ErrTenantQueueFull, job.tenant, maxQueued)
+		case errors.Is(err, ErrQueueFull):
+			return nil, fmt.Errorf("%w (%d queued)", ErrQueueFull, s.sched.capacityCap())
+		}
+		return nil, err
 	}
 	s.jobs[id] = job
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 	s.met.jobEvents.With(eventSubmitted).Inc()
-	s.log.Info("job submitted", "job", id, "genes", job.total)
+	s.met.tenantSubmit(job.tenant, s.tenancy)
+	if job.tenant != "" {
+		s.log.Info("job submitted", "job", id, "tenant", job.tenant, "genes", job.total)
+	} else {
+		s.log.Info("job submitted", "job", id, "genes", job.total)
+	}
 	if err := job.persistSpec(); err != nil {
 		// The runner will still execute the job; it just will not be
 		// recovered after a restart.
@@ -575,7 +843,35 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.log.Warn("job spec not persisted; job will not survive a restart",
 			"job", id, "error", err)
 	}
+	job.mu.Lock()
+	s.indexPutLocked(job)
+	job.mu.Unlock()
 	return job, nil
+}
+
+// indexPutLocked appends the job's current state to the job index.
+// Callers hold job.mu (or exclusive access during recovery). Append
+// failures are logged, never fatal: the index is derived state and the
+// next restart's directory reconciliation rebuilds what it missed.
+func (s *Server) indexPutLocked(job *Job) {
+	if s.idx == nil {
+		return
+	}
+	rec := checkpoint.JobIndexRecord{
+		ID: job.id, Tenant: job.tenant, State: job.state,
+		Total: job.total, Done: job.done, Failed: job.failed,
+		Error: job.errMsg, Digest: job.digest,
+	}
+	if !job.submitted.IsZero() {
+		rec.SubmittedUnixNano = job.submitted.UnixNano()
+	}
+	if !job.finished.IsZero() {
+		rec.FinishedUnixNano = job.finished.UnixNano()
+	}
+	if err := s.idx.Put(rec); err != nil {
+		s.log.Warn("job index append failed; rebuilt on next start",
+			"job", job.id, "error", err)
+	}
 }
 
 // Cancel stops the job: a queued job is marked cancelled immediately, a
@@ -588,21 +884,29 @@ func (s *Server) Cancel(id string) error {
 		return fmt.Errorf("serve: no job %s", id)
 	}
 	job.mu.Lock()
-	defer job.mu.Unlock()
 	switch job.state {
 	case StateQueued:
 		job.cancelled = true
 		job.state = StateCancelled
 		job.finished = time.Now()
+		s.indexPutLocked(job)
+		job.mu.Unlock()
+		// Outside job.mu: the scheduler takes its own lock, and unlike
+		// the old channel queue the slot frees immediately instead of
+		// being skipped at dispatch time.
+		s.sched.remove(job)
 		s.met.jobEvents.With(eventCancelled).Inc()
 		s.log.Info("queued job cancelled", "job", id)
 		return nil
 	case StateRunning:
 		job.cancelled = true
 		job.cancel()
+		job.mu.Unlock()
 		return nil
 	}
-	return fmt.Errorf("serve: job %s already %s", id, job.state)
+	state := job.state
+	job.mu.Unlock()
+	return fmt.Errorf("serve: job %s already %s", id, state)
 }
 
 // Shutdown stops the service gracefully: intake closes, running jobs
@@ -628,6 +932,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		"jobs", len(jobs))
 
 	close(s.quit)
+	s.sched.close()
 	for _, j := range jobs {
 		j.mu.Lock()
 		if j.cancel != nil {
@@ -646,37 +951,36 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
 	}
 	// Runners are gone; mark whatever never ran as interrupted.
-	for {
-		select {
-		case job := <-s.queue:
-			job.mu.Lock()
-			if job.state == StateQueued {
-				job.state = StateInterrupted
-				job.finished = time.Now()
-				s.met.jobEvents.With(eventInterrupted).Inc()
-				s.log.Info("queued job interrupted by shutdown; resumes on restart",
-					"job", job.id)
-			}
-			job.mu.Unlock()
-			continue
-		default:
+	for _, job := range s.sched.drain() {
+		job.mu.Lock()
+		if job.state == StateQueued {
+			job.state = StateInterrupted
+			job.finished = time.Now()
+			s.indexPutLocked(job)
+			s.met.jobEvents.With(eventInterrupted).Inc()
+			s.log.Info("queued job interrupted by shutdown; resumes on restart",
+				"job", job.id)
 		}
-		break
+		job.mu.Unlock()
+	}
+	if err := s.idx.Close(); err != nil {
+		s.log.Warn("job index close failed", "error", err)
 	}
 	s.pool.Close()
 	return nil
 }
 
-// runner executes queued jobs until shutdown.
+// runner executes dispatched jobs until shutdown. The scheduler
+// applies the fair-share policy; dispatch returns nil once closed.
 func (s *Server) runner() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.quit:
+		job := s.sched.dispatch()
+		if job == nil {
 			return
-		case job := <-s.queue:
-			s.runJob(job)
 		}
+		s.runJob(job)
+		s.sched.release(job.tenant)
 	}
 }
 
@@ -697,6 +1001,7 @@ func (s *Server) runJob(job *Job) {
 	if s.closed {
 		job.state = StateInterrupted
 		job.finished = time.Now()
+		s.indexPutLocked(job)
 		job.mu.Unlock()
 		s.mu.Unlock()
 		return
@@ -759,6 +1064,9 @@ func (s *Server) runJob(job *Job) {
 		job.state = StateFailed
 		job.errMsg = err.Error()
 	}
+	// fsync-before-describe: checkpoint.Run has made the results and
+	// ledger durable before this record claims the job finished.
+	s.indexPutLocked(job)
 	s.met.jobEvents.With(job.state).Inc() // states double as event names
 	attrs := []any{"job", job.id, "state", job.state, "done", job.done, "failed", job.failed}
 	if sum != nil {
@@ -780,7 +1088,7 @@ func (s *Server) newJob(id string, spec JobSpec, entries []manifest.Entry, opts 
 		digest = manifest.Digest(entries)
 	}
 	return &Job{
-		id: id, spec: spec, entries: entries, digest: digest, opts: opts,
+		id: id, tenant: spec.Tenant, spec: spec, entries: entries, digest: digest, opts: opts,
 		outPath:    base + ".jsonl",
 		ledgerPath: checkpoint.LedgerPath(base + ".jsonl"),
 		countsPath: base + ".counts",
@@ -867,55 +1175,149 @@ func (s *Server) resolveSpec(spec JobSpec) ([]manifest.Entry, core.StreamOptions
 	return entries, opts, nil
 }
 
-// recover scans the data directory for persisted job specs, reloading
-// finished jobs as status entries and returning unfinished ones for
-// re-queueing (their ledgers make the resume exact). Jobs whose
-// manifests no longer load or validate come back as failed rather than
-// poisoning the server.
+// recover rebuilds the job table on startup. The job index is the fast
+// path: finished jobs (done, failed, cancelled) reload straight from
+// their index records — no spec parse, no ledger revalidation — so a
+// restart over millions of historical jobs is one file read. Only
+// unfinished jobs (queued, running, interrupted) revalidate their
+// checkpoint ledgers and requeue. A directory scan then reconciles the
+// two views: spec files the index missed (a pre-index data directory,
+// or a submission whose index record was the torn tail) take the old
+// per-job revalidation path and are written into the index; index
+// records whose files vanished are tombstoned.
 func (s *Server) recover() ([]*Job, error) {
+	idxPath := checkpoint.JobIndexPath(s.cfg.DataDir)
+	idx, err := checkpoint.OpenJobIndex(idxPath, jobSeq)
+	if err != nil {
+		// Derived state: anything beyond the torn tail the index itself
+		// drops means rebuild, not refuse.
+		s.log.Warn("job index unreadable; rebuilding from a directory scan",
+			"path", idxPath, "error", err)
+		if rmErr := os.Remove(idxPath); rmErr != nil && !os.IsNotExist(rmErr) {
+			return nil, fmt.Errorf("serve: %w", rmErr)
+		}
+		if idx, err = checkpoint.OpenJobIndex(idxPath, jobSeq); err != nil {
+			return nil, err
+		}
+	}
+	s.idx = idx
+
 	des, err := os.ReadDir(s.cfg.DataDir)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	var specFiles []string
+	specs := make(map[string]bool)
 	for _, de := range des {
-		if !de.IsDir() && strings.HasSuffix(de.Name(), ".job.json") {
-			specFiles = append(specFiles, de.Name())
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".job.json") {
+			continue
 		}
-	}
-	sort.Strings(specFiles) // ids are zero-padded: lexical = submission order
-	var requeue []*Job
-	for _, name := range specFiles {
-		id := strings.TrimSuffix(name, ".job.json")
-		var n int
-		if _, err := fmt.Sscanf(id, "j%06d", &n); err != nil {
+		id := strings.TrimSuffix(de.Name(), ".job.json")
+		n, ok := jobSeq(id)
+		if !ok {
 			continue // not one of ours
 		}
 		if n > s.nextID {
 			s.nextID = n
 		}
-		job, resume, err := s.recoverJob(id)
-		switch {
-		case err != nil:
-			job.state = StateFailed
-			job.errMsg = fmt.Sprintf("recovery: %v", err)
-			job.finished = time.Now()
-			s.met.jobEvents.With(eventRecoveryFailed).Inc()
-			s.log.Warn("job revalidation refused; marked failed",
-				"job", id, "reason", err)
-		case resume:
-			requeue = append(requeue, job)
-			s.met.jobEvents.With(eventRequeued).Inc()
-			s.log.Info("recovered unfinished job; requeued to resume",
-				"job", id, "genes", job.total, "done", job.done, "failed", job.failed)
-		default:
-			s.met.jobEvents.With(eventRecovered).Inc()
-			s.log.Info("recovered finished job", "job", id, "state", job.state)
+		specs[id] = true
+	}
+
+	var requeue []*Job
+	indexed := make(map[string]bool)
+	fromIndex := 0
+	for _, rec := range idx.Records() {
+		indexed[rec.ID] = true
+		if !specs[rec.ID] {
+			// The job's files were removed behind the index's back (an
+			// operator rm, a recreated data dir): gone is gone.
+			if err := idx.Purge(rec.ID); err != nil {
+				s.log.Warn("job index purge append failed", "job", rec.ID, "error", err)
+			}
+			continue
 		}
-		s.jobs[id] = job
-		s.order = append(s.order, id)
+		switch rec.State {
+		case StateDone, StateFailed, StateCancelled:
+			job := s.shellJob(rec)
+			s.jobs[rec.ID] = job
+			s.order = append(s.order, rec.ID)
+			fromIndex++
+			s.met.jobEvents.With(eventRecovered).Inc()
+		default:
+			// queued / running / interrupted: the checkpoint ledger is
+			// the authority on progress; revalidate and requeue.
+			if job, resume := s.revalidate(rec.ID); resume {
+				requeue = append(requeue, job)
+			}
+		}
+	}
+	if fromIndex > 0 {
+		s.log.Info("recovered finished jobs from the index", "jobs", fromIndex)
+	}
+
+	// Reconciliation: specs the index does not know.
+	var orphans []string
+	for id := range specs {
+		if !indexed[id] {
+			orphans = append(orphans, id)
+		}
+	}
+	sort.Strings(orphans) // ids are zero-padded: lexical = submission order
+	for _, id := range orphans {
+		if job, resume := s.revalidate(id); resume {
+			requeue = append(requeue, job)
+		}
+	}
+	sort.Strings(s.order)
+	if n := idx.MaxSeq(); n > s.nextID {
+		s.nextID = n
 	}
 	return requeue, nil
+}
+
+// shellJob rebuilds a finished job from its index record alone — the
+// in-memory view a status or results request needs, without touching
+// the job's spec or ledger.
+func (s *Server) shellJob(rec checkpoint.JobIndexRecord) *Job {
+	job := s.newJob(rec.ID, JobSpec{Tenant: rec.Tenant}, nil, core.StreamOptions{})
+	job.state = rec.State
+	job.total, job.done, job.failed = rec.Total, rec.Done, rec.Failed
+	job.errMsg = rec.Error
+	job.digest = rec.Digest
+	if rec.SubmittedUnixNano != 0 {
+		job.submitted = time.Unix(0, rec.SubmittedUnixNano)
+	}
+	if rec.FinishedUnixNano != 0 {
+		job.finished = time.Unix(0, rec.FinishedUnixNano)
+	}
+	return job
+}
+
+// revalidate runs the directory-scan recovery path for one job id and
+// lists the result, refreshing its index record. Reports whether the
+// job needs requeueing.
+func (s *Server) revalidate(id string) (*Job, bool) {
+	job, resume, err := s.recoverJob(id)
+	switch {
+	case err != nil:
+		job.state = StateFailed
+		job.errMsg = fmt.Sprintf("recovery: %v", err)
+		job.finished = time.Now()
+		resume = false
+		s.met.jobEvents.With(eventRecoveryFailed).Inc()
+		s.log.Warn("job revalidation refused; marked failed",
+			"job", id, "reason", err)
+	case resume:
+		s.met.jobEvents.With(eventRequeued).Inc()
+		s.log.Info("recovered unfinished job; requeued to resume",
+			"job", id, "genes", job.total, "done", job.done, "failed", job.failed)
+	default:
+		s.met.jobEvents.With(eventRecovered).Inc()
+		s.log.Info("recovered finished job", "job", id, "state", job.state)
+	}
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.indexPutLocked(job) // migrate / refresh the index record
+	return job, resume
 }
 
 // recoverJob rebuilds one persisted job, reporting whether it still

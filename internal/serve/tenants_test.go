@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTenants(t *testing.T) {
+	conf := `
+# fleet tenants
+alice tok-alice-8f3a2b91 max_active=2 max_queued=16
+bob   tok-bob-55e01c77          # trailing comment
+carol tok-carol-0c9d44aa max_queued=1
+`
+	ts, err := ParseTenants(strings.NewReader(conf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("parsed %d tenants, want 3: %+v", len(ts), ts)
+	}
+	want := []Tenant{
+		{Name: "alice", Token: "tok-alice-8f3a2b91", MaxActive: 2, MaxQueued: 16},
+		{Name: "bob", Token: "tok-bob-55e01c77"},
+		{Name: "carol", Token: "tok-carol-0c9d44aa", MaxQueued: 1},
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Errorf("tenant %d = %+v, want %+v", i, ts[i], want[i])
+		}
+	}
+}
+
+func TestParseTenantsRejects(t *testing.T) {
+	cases := map[string]string{
+		"missing token":     "alice\n",
+		"short token":       "alice short\n",
+		"token whitespace":  "alice \"tok with space\"\n", // quotes don't group fields
+		"bad name char":     "al/ice tok-alice-8f3a2b91\n",
+		"empty quota":       "alice tok-alice-8f3a2b91 max_active=\n",
+		"negative quota":    "alice tok-alice-8f3a2b91 max_active=-1\n",
+		"non-numeric quota": "alice tok-alice-8f3a2b91 max_queued=lots\n",
+		"unknown key":       "alice tok-alice-8f3a2b91 priority=9\n",
+		"duplicate key":     "alice tok-alice-8f3a2b91 max_active=1 max_active=2\n",
+		"bare flag":         "alice tok-alice-8f3a2b91 admin\n",
+		"duplicate tenant":  "alice tok-alice-8f3a2b91\nalice tok-alice2-44ddee\n",
+		"duplicate token":   "alice tok-shared-8f3a2b91\nbob tok-shared-8f3a2b91\n",
+		"name too long":     strings.Repeat("a", 65) + " tok-alice-8f3a2b91\n",
+	}
+	for label, conf := range cases {
+		if _, err := ParseTenants(strings.NewReader(conf)); err == nil {
+			t.Errorf("%s: accepted %q", label, conf)
+		}
+	}
+	// Empty file is a valid lockdown, not an error.
+	if ts, err := ParseTenants(strings.NewReader("# nobody\n\n")); err != nil || len(ts) != 0 {
+		t.Errorf("empty file: got %v, %v; want zero tenants, nil error", ts, err)
+	}
+}
+
+func TestTenantSetAuthenticate(t *testing.T) {
+	ts := newTenantSet([]Tenant{
+		{Name: "alice", Token: "tok-alice-8f3a2b91"},
+		{Name: "bob", Token: "tok-bob-55e01c77"},
+	})
+	if name, ok := ts.authenticate("tok-bob-55e01c77"); !ok || name != "bob" {
+		t.Errorf("authenticate(bob token) = %q, %v", name, ok)
+	}
+	for _, bad := range []string{"", "tok-bob-55e01c78", "tok-bob-55e01c77x", "tok-alice"} {
+		if name, ok := ts.authenticate(bad); ok {
+			t.Errorf("authenticate(%q) accepted as %q", bad, name)
+		}
+	}
+	ma, mq := ts.limits("nosuch")
+	if ma != 0 || mq != 0 {
+		t.Errorf("limits(unknown) = %d, %d, want unlimited", ma, mq)
+	}
+}
+
+// FuzzTenantsConfig fuzzes the tenants-file parser: it must never
+// panic, and any accepted configuration must be coherent — unique
+// names and tokens, valid charsets, non-negative quotas. This is the
+// same harness shape as FuzzDgemmNT and FuzzCacheDecode: a committed
+// corpus seeds the interesting shapes and CI runs a 30 s smoke pass.
+func FuzzTenantsConfig(f *testing.F) {
+	f.Add("alice tok-alice-8f3a2b91 max_active=2 max_queued=16\n")
+	f.Add("# comment only\n\n")
+	f.Add("alice tok-alice-8f3a2b91\nalice tok-alice2-44ddee\n")
+	f.Add("bob tok-bob-55e01c77 max_active=-1\n")
+	f.Add("eve tok\n")
+	f.Add("mallory tok-mallory-aa max_active=999999999999999999999\n")
+	f.Add("x\ty z tok-weird-123456\n")
+	f.Add(strings.Repeat("t tok-aaaaaaaa\n", 20))
+	f.Fuzz(func(t *testing.T, conf string) {
+		tenants, err := ParseTenants(strings.NewReader(conf))
+		if err != nil {
+			return
+		}
+		names := make(map[string]bool)
+		tokens := make(map[string]bool)
+		for _, tn := range tenants {
+			if err := validTenantName(tn.Name); err != nil {
+				t.Fatalf("accepted invalid name %q: %v", tn.Name, err)
+			}
+			if err := validToken(tn.Token); err != nil {
+				t.Fatalf("accepted invalid token for %s: %v", tn.Name, err)
+			}
+			if names[tn.Name] {
+				t.Fatalf("accepted duplicate tenant %q", tn.Name)
+			}
+			if tokens[tn.Token] {
+				t.Fatalf("accepted duplicate token (tenant %q)", tn.Name)
+			}
+			names[tn.Name] = true
+			tokens[tn.Token] = true
+			if tn.MaxActive < 0 || tn.MaxQueued < 0 {
+				t.Fatalf("accepted negative quota for %q: %+v", tn.Name, tn)
+			}
+			// Every accepted tenant must authenticate with its own token.
+		}
+		if len(tenants) > 0 {
+			set := newTenantSet(tenants)
+			for _, tn := range tenants {
+				if name, ok := set.authenticate(tn.Token); !ok || name != tn.Name {
+					t.Fatalf("tenant %q cannot authenticate with its own token (got %q, %v)", tn.Name, name, ok)
+				}
+			}
+		}
+	})
+}
